@@ -1,0 +1,70 @@
+"""Figure 12 — energy consumption of the extract kernel.
+
+Paper: the Bonsai-extensions reduce the energy of the euclidean-cluster
+extract kernel by 10.84% on average; the reduction comes from executing fewer
+instructions and memory accesses, which pays off the small dynamic-power
+increase of the added units (Table V).  The benchmark evaluates the energy
+model over both configurations and regenerates the box plot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_boxplot_figure
+from repro.hwmodel import EnergyModel, KernelMetrics
+
+from paper_reference import PAPER, write_result
+
+
+def test_fig12_report(benchmark, comparison):
+    """Regenerate Figure 12 and check the improvement band."""
+    text = benchmark.pedantic(
+        render_boxplot_figure,
+        args=("Figure 12 - Energy consumption of the extract kernel [J]",
+              comparison.energy_baseline,
+              comparison.energy_bonsai,
+              comparison.energy_improvements),
+        kwargs={"paper_mean_reduction": PAPER["fig12_mean_reduction"], "unit": " J"},
+        rounds=1, iterations=1,
+    )
+    write_result("fig12_energy", text)
+
+    mean_reduction = comparison.energy_improvements["mean_reduction"]
+    # Shape: a clear single-digit-to-low-double-digit energy win.
+    assert 0.05 < mean_reduction < 0.35
+
+
+def test_fig12_energy_dominated_by_core_and_caches(benchmark, baseline_measurements):
+    """Sanity on the energy decomposition: no single exotic term dominates."""
+    model = EnergyModel()
+    benchmark.pedantic(lambda: EnergyModel(), rounds=1, iterations=1)
+    m = baseline_measurements[0]
+    metrics = KernelMetrics(
+        instructions=m.extract.instructions, loads=m.extract.loads, stores=m.extract.stores,
+        l1_accesses=m.extract.l1_accesses, l1_misses=m.extract.l1_misses,
+        l2_accesses=m.extract.l2_accesses, l2_misses=m.extract.l2_misses,
+        memory_accesses=m.extract.memory_accesses,
+    )
+    breakdown = model.estimate(metrics, m.extract.seconds)
+    assert breakdown.core_dynamic_j > 0
+    assert breakdown.total_j == pytest.approx(m.extract.energy_j, rel=0.05)
+
+
+def test_fig12_energy_model_kernel(benchmark, baseline_measurements):
+    """Time the energy-model evaluation over the measured frame set."""
+    model = EnergyModel()
+
+    def run():
+        total = 0.0
+        for m in baseline_measurements:
+            metrics = KernelMetrics(
+                instructions=m.extract.instructions, loads=m.extract.loads,
+                stores=m.extract.stores, l1_accesses=m.extract.l1_accesses,
+                l1_misses=m.extract.l1_misses, l2_accesses=m.extract.l2_accesses,
+                l2_misses=m.extract.l2_misses, memory_accesses=m.extract.memory_accesses,
+            )
+            total += model.estimate(metrics, m.extract.seconds).total_j
+        return total
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

@@ -1,0 +1,59 @@
+"""Figure 9b — bytes loaded to fetch leaf points during radius search.
+
+Paper: on the first frame of the data set, the baseline loads 4.85 MB of
+point data during the search while the Bonsai-extensions load 1.77 MB (37%).
+The benchmark measures the same quantity on the first synthetic frame and on
+the whole frame set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_fig9b, render_table
+from repro.core import BonsaiRadiusSearch, compress_tree
+from repro.kdtree import build_kdtree
+
+from paper_reference import PAPER, write_result
+
+
+def test_fig9b_report(benchmark, comparison, baseline_measurements, bonsai_measurements):
+    """Regenerate Figure 9b (whole set plus the frame #1 breakdown)."""
+    text = benchmark.pedantic(render_fig9b, args=(comparison, PAPER["fig9b_fraction"]),
+                              rounds=1, iterations=1)
+
+    first_baseline = baseline_measurements[0]
+    first_bonsai = bonsai_measurements[0]
+    frame_fraction = first_bonsai.point_bytes_loaded / first_baseline.point_bytes_loaded
+    frame_rows = [
+        ("Baseline", f"{first_baseline.point_bytes_loaded / 1e6:.2f} MB", "4.85 MB"),
+        ("Bonsai-extensions", f"{first_bonsai.point_bytes_loaded / 1e6:.2f} MB",
+         f"1.77 MB ({PAPER['fig9b_fraction']:.0%})"),
+        ("Fraction", f"{frame_fraction:.1%}", f"{PAPER['fig9b_fraction']:.0%}"),
+    ]
+    text += "\n\n" + render_table(
+        ("Configuration", "Frame #1 (measured)", "Paper (frame #1)"),
+        frame_rows,
+        title="Figure 9b - first frame detail",
+    )
+    write_result("fig9b_bytes", text)
+
+    # Shape: the compressed search loads roughly a third of the bytes.
+    assert 0.25 < comparison.bytes_fraction < 0.55
+    assert 0.25 < frame_fraction < 0.55
+
+
+def test_fig9b_static_compression_ratio(benchmark, clustering_input):
+    """The static compressed-array footprint also lands near the paper's 37%."""
+    tree = build_kdtree(clustering_input)
+    report = benchmark.pedantic(compress_tree, args=(tree,), rounds=1, iterations=1)
+    assert 0.25 < report.compression_ratio < 0.55
+
+
+def test_fig9b_compression_kernel(benchmark, clustering_input):
+    """Time the whole-tree leaf compression pass (build-time overhead)."""
+    def run():
+        tree = build_kdtree(clustering_input)
+        return compress_tree(tree).compressed_bytes
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

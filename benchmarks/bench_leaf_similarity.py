@@ -1,0 +1,56 @@
+"""Section III-A — sign/exponent sharing across k-d tree leaves.
+
+Paper: over 37M points feeding the euclidean-cluster node, 78% of leaves share
+the sign and exponent of the x coordinate and 83% of the y coordinate.  The
+benchmark measures the same statistic over the synthetic frame set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import aggregate_similarity, leaf_similarity
+from repro.kdtree import build_kdtree
+from repro.pointcloud import preprocess_for_clustering
+
+from paper_reference import PAPER, write_result
+
+
+@pytest.fixture(scope="module")
+def similarity(bench_clouds):
+    trees = [build_kdtree(preprocess_for_clustering(cloud)) for cloud in bench_clouds]
+    return aggregate_similarity(trees)
+
+
+def test_leaf_similarity_report(benchmark, similarity):
+    """Regenerate the Section III-A statistic (sharing rate per coordinate)."""
+    benchmark.pedantic(similarity.share_rate, args=("x",), rounds=1, iterations=1)
+    rows = []
+    for coord in ("x", "y", "z"):
+        paper = PAPER["leaf_similarity"].get(coord)
+        rows.append((
+            coord,
+            f"{similarity.share_rate(coord) * 100:.1f}%",
+            f"{paper * 100:.0f}%" if paper is not None else "(not reported)",
+        ))
+    rows.append(("all three", f"{similarity.fully_shared_rate * 100:.1f}%", "(not reported)"))
+    text = render_table(
+        ("Coordinate", "Leaves sharing <sign, exponent> (measured)", "Paper"),
+        rows,
+        title="Section III-A - Value similarity across k-d tree leaves",
+    )
+    write_result("leaf_similarity", text)
+
+    # Shape: the horizontal coordinates share in a majority of leaves, which
+    # is what makes value-similarity compression worthwhile.
+    assert similarity.share_rate("x") > 0.5
+    assert similarity.share_rate("y") > 0.5
+    assert similarity.n_leaves > 100
+
+
+def test_leaf_similarity_kernel(benchmark, clustering_input):
+    """Time the per-tree similarity analysis."""
+    tree = build_kdtree(clustering_input)
+    stats = benchmark.pedantic(leaf_similarity, args=(tree,), rounds=1, iterations=1)
+    assert stats.n_leaves == tree.n_leaves

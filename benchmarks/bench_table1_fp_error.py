@@ -1,0 +1,56 @@
+"""Table I — radius-search classification error of reduced FP formats.
+
+Paper: misclassification rates of 0.076% (IEEE fp16), 0.61% (bfloat16) and
+0.0003% (custom 24-bit float) relative to the 32-bit baseline, with fp16 an
+order of magnitude more accurate than bfloat16.  The benchmark re-runs the
+euclidean-clustering radius searches with each format (no shell, no
+recomputation — the raw error the shell later removes) and regenerates the
+table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table1, table1_classification_errors
+from repro.core.floatfmt import FLOAT16
+from repro.kdtree import build_kdtree, radius_search
+
+from paper_reference import PAPER, write_result
+
+RADIUS = 0.6
+
+
+@pytest.fixture(scope="module")
+def table1_errors(clustering_input):
+    tree = build_kdtree(clustering_input)
+    queries = [clustering_input[i] for i in range(0, len(clustering_input), 3)]
+    return table1_classification_errors(tree, queries, RADIUS)
+
+
+def test_table1_report(benchmark, table1_errors):
+    """Regenerate Table I and check its qualitative ordering and magnitudes."""
+    text = benchmark.pedantic(render_table1, args=(table1_errors, PAPER["table1"]),
+                              rounds=1, iterations=1)
+    write_result("table1_fp_error", text)
+
+    fp16 = table1_errors["ieee_fp16"].error_rate
+    bf16 = table1_errors["bfloat16"].error_rate
+    fp24 = table1_errors["float24"].error_rate
+    # Shape: float24 < fp16 < bfloat16, all below 1%, fp16 well below bfloat16.
+    assert fp24 <= fp16 <= bf16
+    assert bf16 < 0.02
+    assert fp16 < 0.005
+    assert fp16 < 0.5 * bf16
+
+
+def test_table1_fp16_classification_kernel(benchmark, clustering_input):
+    """Time the reduced-precision classification pass for one query batch."""
+    tree = build_kdtree(clustering_input)
+    queries = [clustering_input[i] for i in range(0, len(clustering_input), 40)]
+
+    def run():
+        return table1_classification_errors(tree, queries, RADIUS, [FLOAT16])
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert errors["ieee_fp16"].classifications > 0

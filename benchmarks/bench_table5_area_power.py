@@ -1,0 +1,46 @@
+"""Table V — area and power of the K-D Bonsai hardware additions.
+
+Paper: the compression/decompression unit and the four (A-B')^2 FUs add
+0.0511 mm^2 (+0.36% of the baseline core) and 24 mW of dynamic power
+(+1.29%).  The benchmark cross-checks those synthesis results with the
+bottom-up gate-count model and regenerates the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table5
+from repro.hwmodel import TABLE_V, estimate_bonsai_area
+
+from paper_reference import PAPER, write_result
+
+
+@pytest.fixture(scope="module")
+def area_estimates():
+    return estimate_bonsai_area()
+
+
+def test_table5_report(benchmark, area_estimates):
+    """Regenerate Table V and check the overhead magnitudes."""
+    text = benchmark.pedantic(render_table5, args=(area_estimates, TABLE_V),
+                              rounds=1, iterations=1)
+    write_result("table5_area_power", text)
+
+    # Paper-reported relative overheads (inputs of the model, checked exactly).
+    assert TABLE_V.relative_area_increase == pytest.approx(
+        PAPER["table5_area_increase"], abs=5e-4)
+    assert TABLE_V.relative_dynamic_power_increase == pytest.approx(
+        PAPER["table5_power_increase"], abs=2e-3)
+
+    # Bottom-up cross-check: same order of magnitude, still a tiny fraction
+    # of the 14.26 mm^2 core.
+    modelled_increase = area_estimates["total_area_mm2"] / TABLE_V.processor.area_mm2
+    assert modelled_increase < 0.03
+    assert 0.1 < area_estimates["total_area_mm2"] / TABLE_V.bonsai_total.area_mm2 < 10.0
+
+
+def test_table5_area_model_kernel(benchmark):
+    """Time the analytic area/power estimation."""
+    result = benchmark(estimate_bonsai_area)
+    assert result["total_area_mm2"] > 0

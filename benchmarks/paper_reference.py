@@ -1,0 +1,46 @@
+"""Paper-reported values and result-file helpers shared by all benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Paper-reported values, used in every rendered report for side-by-side
+#: comparison (EXPERIMENTS.md references the same constants).
+PAPER = {
+    "fig2": {
+        "Euclidean Cluster (Segmentation)": 0.61,
+        "NDT Matching (Localization)": 0.51,
+    },
+    "table1": {"ieee_fp16": 0.00076, "bfloat16": 0.0061, "float24": 0.000003},
+    "leaf_similarity": {"x": 0.78, "y": 0.83},
+    "fig9a": {
+        "execution_time": -0.12,
+        "instructions": -0.16,
+        "loads": -0.23,
+        "stores": -0.18,
+        "l1_accesses": -0.14,
+        "l1_misses": 0.08,
+    },
+    "fig9b_fraction": 0.37,
+    "fig10": {"l1_accesses": -0.14, "l2_accesses": 0.11, "memory_accesses": 0.08},
+    "fig11_mean_reduction": 0.0926,
+    "fig11_p99_reduction": 0.1219,
+    "fig12_mean_reduction": 0.1084,
+    "table3": {"latency_mean_error": 0.0294, "ipc_relative_error": 0.0468,
+               "l1_miss_ratio_difference": 0.0010},
+    "table5_area_increase": 0.0036,
+    "table5_power_increase": 0.0129,
+    "recompute_rate": 0.0037,
+    "visits_per_leaf": 52.0,
+    "software_compression_slowdown": 7.0,
+}
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a regenerated table/figure to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed editable with ``--no-use-pep517`` on machines without
+the ``wheel`` package (e.g. offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""K-D Bonsai reproduction.
+
+A functional reproduction of *K-D Bonsai: ISA-Extensions to Compress K-D
+Trees for Autonomous Driving Tasks* (ISCA 2023): value-similarity + reduced
+precision compression of k-d tree leaves for radius search, an ISA-level
+functional model of the Bonsai-extensions, and a first-order hardware cost
+model used to regenerate the paper's tables and figures.
+
+Subpackages
+-----------
+``repro.core``
+    Float formats, the worst-case error model, leaf compression and the
+    compressed (Bonsai) radius search.
+``repro.pointcloud``
+    Point cloud containers, synthetic LiDAR and driving scenes, filters, I/O.
+``repro.kdtree``
+    PCL/FLANN-style leaf-based k-d tree, baseline radius search, kNN.
+``repro.perception``
+    Euclidean cluster extraction and a simplified NDT registration.
+``repro.isa``
+    Functional simulator of the six Bonsai instructions (ZipPts buffer,
+    compress/decompress logic, (A-B')^2 functional units).
+``repro.hwmodel``
+    Cache/memory hierarchy simulation, timing, energy and area models.
+``repro.workloads``
+    Autoware-like pipelines, execution-share profiling and sub-sampling.
+``repro.analysis``
+    Metrics, baseline-vs-Bonsai comparison and report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

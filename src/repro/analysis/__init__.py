@@ -1,0 +1,40 @@
+"""Metrics, comparisons and report rendering for the paper's evaluation."""
+
+from .boxplot import BoxPlotStats, compare_distributions
+from .compare import ComparisonSummary, MetricComparison, compare_measurements
+from .metrics import (
+    ClassificationErrorStats,
+    FormatErrorInspector,
+    classification_error,
+    table1_classification_errors,
+)
+from .reporting import (
+    render_boxplot_figure,
+    render_fig2,
+    render_fig9a,
+    render_fig9b,
+    render_fig10,
+    render_table,
+    render_table1,
+    render_table5,
+)
+
+__all__ = [
+    "BoxPlotStats",
+    "compare_distributions",
+    "ComparisonSummary",
+    "MetricComparison",
+    "compare_measurements",
+    "ClassificationErrorStats",
+    "FormatErrorInspector",
+    "classification_error",
+    "table1_classification_errors",
+    "render_boxplot_figure",
+    "render_fig2",
+    "render_fig9a",
+    "render_fig9b",
+    "render_fig10",
+    "render_table",
+    "render_table1",
+    "render_table5",
+]

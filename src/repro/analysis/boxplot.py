@@ -1,0 +1,86 @@
+"""Distribution statistics for box-plot style figures (Figures 11 and 12).
+
+The paper presents end-to-end latency and energy as box plots annotated with
+the mean, and additionally reports the 99th-percentile tail latency.  This
+module computes those summary statistics and renders a coarse ASCII box plot
+so benchmark output can be inspected without plotting libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["BoxPlotStats", "compare_distributions"]
+
+
+@dataclass
+class BoxPlotStats:
+    """Summary statistics of one distribution."""
+
+    label: str
+    n: int
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    p99: float
+    std: float
+
+    @classmethod
+    def from_values(cls, label: str, values: Sequence[float]) -> "BoxPlotStats":
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            raise ValueError("cannot summarise an empty distribution")
+        return cls(
+            label=label,
+            n=int(array.size),
+            mean=float(array.mean()),
+            minimum=float(array.min()),
+            q1=float(np.percentile(array, 25)),
+            median=float(np.percentile(array, 50)),
+            q3=float(np.percentile(array, 75)),
+            maximum=float(array.max()),
+            p99=float(np.percentile(array, 99)),
+            std=float(array.std()),
+        )
+
+    def ascii_box(self, lo: float, hi: float, width: int = 48) -> str:
+        """Render the box plot on a shared ``[lo, hi]`` axis of ``width`` chars."""
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+
+        def position(value: float) -> int:
+            frac = (value - lo) / (hi - lo)
+            return int(round(np.clip(frac, 0.0, 1.0) * (width - 1)))
+
+        line = [" "] * width
+        for index in range(position(self.minimum), position(self.maximum) + 1):
+            line[index] = "-"
+        for index in range(position(self.q1), position(self.q3) + 1):
+            line[index] = "="
+        line[position(self.median)] = "|"
+        line[position(self.mean)] = "o"
+        return "".join(line)
+
+
+def compare_distributions(baseline: Sequence[float], improved: Sequence[float],
+                          label_baseline: str = "Baseline",
+                          label_improved: str = "Bonsai-extensions") -> Dict[str, float]:
+    """Mean / p99 improvements of ``improved`` over ``baseline``.
+
+    Returns fractional reductions (positive = improvement), the quantities
+    the paper quotes for Figures 11 and 12 (e.g. 9.26% mean latency, 12.19%
+    tail latency, 10.84% energy).
+    """
+    base = BoxPlotStats.from_values(label_baseline, baseline)
+    new = BoxPlotStats.from_values(label_improved, improved)
+    return {
+        "mean_reduction": (base.mean - new.mean) / base.mean if base.mean else 0.0,
+        "median_reduction": (base.median - new.median) / base.median if base.median else 0.0,
+        "p99_reduction": (base.p99 - new.p99) / base.p99 if base.p99 else 0.0,
+    }

@@ -1,0 +1,183 @@
+"""Command-line interface for the K-D Bonsai reproduction.
+
+The CLI exposes the most common flows without writing Python:
+
+``python -m repro generate``
+    Generate synthetic LiDAR frames and write them as PCD or NPZ files.
+``python -m repro compress-stats``
+    Report the compression opportunity (sign/exponent sharing, compressed
+    footprint, recompute rate) of one frame.
+``python -m repro cluster``
+    Run euclidean clustering (baseline or Bonsai) on one frame and print the
+    detections.
+``python -m repro compare``
+    Run the baseline-vs-Bonsai pipeline over a few frames and print the
+    Figure 9/11/12-style summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="K-D Bonsai reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate synthetic LiDAR frames and write them to disk")
+    generate.add_argument("--frames", type=int, default=3, help="number of frames")
+    generate.add_argument("--output-dir", type=Path, default=Path("frames"),
+                          help="directory to write frames into")
+    generate.add_argument("--format", choices=("pcd", "npz"), default="pcd",
+                          help="output file format")
+    generate.add_argument("--seed", type=int, default=7, help="scene random seed")
+
+    compress = subparsers.add_parser(
+        "compress-stats", help="report the compression opportunity of one frame")
+    compress.add_argument("--frame", type=int, default=0, help="frame index")
+    compress.add_argument("--seed", type=int, default=7, help="scene random seed")
+    compress.add_argument("--radius", type=float, default=0.6, help="search radius [m]")
+
+    cluster = subparsers.add_parser(
+        "cluster", help="run euclidean clustering on one synthetic frame")
+    cluster.add_argument("--frame", type=int, default=0, help="frame index")
+    cluster.add_argument("--seed", type=int, default=7, help="scene random seed")
+    cluster.add_argument("--tolerance", type=float, default=0.6,
+                         help="clustering tolerance (radius) [m]")
+    cluster.add_argument("--bonsai", action="store_true",
+                         help="use the K-D Bonsai compressed search")
+
+    compare = subparsers.add_parser(
+        "compare", help="baseline vs Bonsai summary over a few frames")
+    compare.add_argument("--frames", type=int, default=4, help="number of frames")
+    compare.add_argument("--seed", type=int, default=7, help="scene random seed")
+
+    return parser
+
+
+def _sequence(n_frames: int, seed: int):
+    from .pointcloud import DrivingSequence, LidarConfig, SceneConfig, SequenceConfig
+
+    return DrivingSequence(SequenceConfig(
+        n_frames=max(n_frames, 1),
+        scene=SceneConfig(seed=seed),
+        lidar=LidarConfig(seed=seed * 101),
+    ))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .pointcloud import save_npz, save_pcd
+
+    sequence = _sequence(args.frames, args.seed)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    for index in range(args.frames):
+        cloud = sequence.frame(index)
+        path = args.output_dir / f"frame_{index:04d}.{args.format}"
+        if args.format == "pcd":
+            save_pcd(path, cloud)
+        else:
+            save_npz(path, cloud)
+        print(f"wrote {path} ({len(cloud)} points)")
+    return 0
+
+
+def _cmd_compress_stats(args: argparse.Namespace) -> int:
+    from .core import BonsaiRadiusSearch, leaf_similarity
+    from .kdtree import build_kdtree
+    from .pointcloud import preprocess_for_clustering
+
+    sequence = _sequence(args.frame + 1, args.seed)
+    cloud = preprocess_for_clustering(sequence.frame(args.frame))
+    tree = build_kdtree(cloud)
+    similarity = leaf_similarity(tree)
+    bonsai = BonsaiRadiusSearch(tree)
+    for index in range(0, len(cloud), 10):
+        bonsai.search(cloud[index], args.radius)
+
+    print(f"frame {args.frame}: {len(cloud)} points, {tree.n_leaves} leaves")
+    for coord, rate in similarity.share_rates.items():
+        print(f"  {coord} sign/exponent shared in {rate:.1%} of leaves")
+    print(f"  compressed footprint: {bonsai.report.compressed_bytes} B "
+          f"({bonsai.report.compression_ratio:.1%} of baseline)")
+    print(f"  recompute rate at radius {args.radius} m: "
+          f"{bonsai.bonsai_stats.inconclusive_rate:.3%}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .perception import ClusterConfig, EuclideanClusterExtractor, label_clusters
+    from .perception.cluster_filter import match_clusters_to_labels
+    from .pointcloud import preprocess_for_clustering
+
+    sequence = _sequence(args.frame + 1, args.seed)
+    cloud = preprocess_for_clustering(sequence.frame(args.frame))
+    extractor = EuclideanClusterExtractor(
+        ClusterConfig(tolerance=args.tolerance), use_bonsai=args.bonsai)
+    result = extractor.extract(cloud)
+    detections = label_clusters(cloud, result.clusters)
+    histogram = match_clusters_to_labels(detections)
+
+    mode = "Bonsai-extensions" if args.bonsai else "baseline"
+    print(f"frame {args.frame} ({mode} search): {len(cloud)} points -> "
+          f"{result.n_clusters} clusters")
+    for label, count in sorted(histogram.items()):
+        print(f"  {label:12s} {count}")
+    for detection in detections[:10]:
+        center = np.round(detection.centroid, 2)
+        print(f"  cluster {detection.cluster_id:3d}: {detection.label:10s} "
+              f"at {center} with {detection.n_points} points")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import compare_measurements, render_fig9a, render_fig9b
+    from .workloads import EuclideanClusterPipeline
+
+    sequence = _sequence(args.frames, args.seed)
+    clouds = [sequence.frame(i) for i in range(args.frames)]
+    pipeline = EuclideanClusterPipeline()
+    baseline = pipeline.run_frames(clouds, use_bonsai=False)
+    bonsai = pipeline.run_frames(clouds, use_bonsai=True)
+    summary = compare_measurements(baseline, bonsai)
+
+    print(render_fig9a(summary))
+    print()
+    print(render_fig9b(summary))
+    print()
+    print(f"latency: mean -{summary.latency_improvements['mean_reduction']:.1%}, "
+          f"p99 -{summary.latency_improvements['p99_reduction']:.1%}")
+    print(f"energy:  mean -{summary.energy_improvements['mean_reduction']:.1%}")
+    print(f"recomputed classifications: {summary.inconclusive_rate:.2%}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "compress-stats": _cmd_compress_stats,
+    "cluster": _cmd_cluster,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

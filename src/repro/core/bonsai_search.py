@@ -1,0 +1,280 @@
+"""Radius search over compressed leaves (the K-D Bonsai leaf inspector).
+
+The traversal is unchanged from the baseline (:func:`repro.kdtree.radius_search`);
+only leaf processing differs.  When the search reaches a leaf whose compressed
+structure exists, the inspector:
+
+1. loads the compressed structure in 128-bit slices (modelling the LDDCP
+   micro-operations) and decompresses it into reduced-precision coordinates;
+2. computes the approximate squared distance and the worst-case error bound
+   per point (what the vectorised (A-B')^2 functional units produce);
+3. applies the shell classification of Eq. 12;
+4. for inconclusive points only, loads the original 32-bit point and
+   re-computes the exact classification, so results are identical to the
+   baseline.
+
+The inspector accumulates the functional counters the hardware model needs
+(bytes loaded, slices, inconclusive classifications), and optionally feeds a
+memory-access recorder for cache simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..kdtree.build import KDTree
+from ..kdtree.layout import POINT_STRIDE_BYTES, TreeMemoryLayout
+from ..kdtree.node import LeafNode
+from ..kdtree.radius_search import MemoryRecorder, SearchStats
+from .compressed_leaf import CompressedRef, CompressedStructArray, compress_tree
+from .error_model import PartErrorTable
+from .floatfmt import FLOAT16, FloatFormat
+from .leaf_compression import ZIPPTS_SLICE_BYTES, decompress_leaf
+
+__all__ = ["BonsaiStats", "BonsaiLeafInspector", "BonsaiRadiusSearch"]
+
+
+@dataclass
+class BonsaiStats:
+    """Functional counters specific to the compressed search path."""
+
+    leaf_visits: int = 0
+    slices_loaded: int = 0
+    compressed_bytes_loaded: int = 0
+    points_classified: int = 0
+    conclusive_in: int = 0
+    conclusive_out: int = 0
+    inconclusive: int = 0
+    recompute_bytes_loaded: int = 0
+    fallback_leaf_visits: int = 0
+
+    @property
+    def inconclusive_rate(self) -> float:
+        """Fraction of classifications resolved by 32-bit recomputation."""
+        if self.points_classified == 0:
+            return 0.0
+        return self.inconclusive / self.points_classified
+
+    @property
+    def total_point_bytes_loaded(self) -> int:
+        """Compressed bytes plus recomputation bytes."""
+        return self.compressed_bytes_loaded + self.recompute_bytes_loaded
+
+    def merge(self, other: "BonsaiStats") -> None:
+        """Accumulate ``other``'s counters into this object."""
+        self.leaf_visits += other.leaf_visits
+        self.slices_loaded += other.slices_loaded
+        self.compressed_bytes_loaded += other.compressed_bytes_loaded
+        self.points_classified += other.points_classified
+        self.conclusive_in += other.conclusive_in
+        self.conclusive_out += other.conclusive_out
+        self.inconclusive += other.inconclusive
+        self.recompute_bytes_loaded += other.recompute_bytes_loaded
+        self.fallback_leaf_visits += other.fallback_leaf_visits
+
+
+class BonsaiLeafInspector:
+    """Leaf inspector operating on compressed leaf structures.
+
+    Parameters
+    ----------
+    array:
+        The tree's ``cmprsd_strct_array``.  If omitted, the inspector looks
+        for ``tree.compressed_array`` (set by :func:`compress_tree`).
+    fmt:
+        Reduced float format of the compressed coordinates.
+    cache_decoded:
+        Keep decoded leaves in a per-inspector cache.  Decoding is repeated
+        work in hardware too, but caching only the *functional* result keeps
+        the pure-Python model fast; the byte/slice accounting still charges
+        every visit.
+    """
+
+    def __init__(self, array: Optional[CompressedStructArray] = None,
+                 fmt: FloatFormat = FLOAT16, cache_decoded: bool = True):
+        self.array = array
+        self.fmt = fmt
+        self.cache_decoded = cache_decoded
+        self.part_error = PartErrorTable(fmt)
+        self.bonsai_stats = BonsaiStats()
+        self._decoded_cache: Dict[int, np.ndarray] = {}
+        self._error_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # LeafInspector protocol
+    # ------------------------------------------------------------------
+    def inspect(self, tree: KDTree, leaf: LeafNode, query: np.ndarray, r2: float,
+                results: List[int], stats: SearchStats,
+                recorder: Optional[MemoryRecorder],
+                layout: Optional[TreeMemoryLayout]) -> None:
+        array = self._resolve_array(tree)
+        ref: Optional[CompressedRef] = leaf.compressed_ref  # type: ignore[assignment]
+        if array is None or ref is None:
+            # No compressed structure: fall back to the baseline behaviour.
+            self.bonsai_stats.fallback_leaf_visits += 1
+            self._baseline_inspect(tree, leaf, query, r2, results, stats, recorder, layout)
+            return
+
+        self.bonsai_stats.leaf_visits += 1
+        self.bonsai_stats.slices_loaded += ref.n_slices
+        self.bonsai_stats.compressed_bytes_loaded += ref.n_slices * ZIPPTS_SLICE_BYTES
+        stats.points_examined += leaf.n_points
+        stats.point_bytes_loaded += ref.n_slices * ZIPPTS_SLICE_BYTES
+
+        if recorder is not None and layout is not None:
+            for slice_index in range(ref.n_slices):
+                recorder.record_load(
+                    layout.compressed_address(ref.offset + slice_index * ZIPPTS_SLICE_BYTES),
+                    ZIPPTS_SLICE_BYTES,
+                )
+
+        reduced, max_delta = self._decoded(array, leaf.leaf_id, ref)
+
+        diffs = query - reduced
+        sq = diffs * diffs
+        d2_approx = sq.sum(axis=1)
+        eps = (2.0 * np.abs(diffs) * max_delta + max_delta * max_delta).sum(axis=1)
+
+        self.bonsai_stats.points_classified += leaf.n_points
+
+        conclusive_in = d2_approx <= r2 - eps
+        conclusive_out = d2_approx > r2 + eps
+        inconclusive = ~(conclusive_in | conclusive_out)
+
+        self.bonsai_stats.conclusive_in += int(conclusive_in.sum())
+        self.bonsai_stats.conclusive_out += int(conclusive_out.sum())
+        self.bonsai_stats.inconclusive += int(inconclusive.sum())
+
+        for local_index, point_index in enumerate(leaf.indices):
+            if conclusive_in[local_index]:
+                results.append(int(point_index))
+                stats.points_in_radius += 1
+                continue
+            if conclusive_out[local_index]:
+                continue
+            # Inconclusive: fetch the original 32-bit point and recompute.
+            self.bonsai_stats.recompute_bytes_loaded += POINT_STRIDE_BYTES
+            stats.point_bytes_loaded += POINT_STRIDE_BYTES
+            if recorder is not None and layout is not None:
+                recorder.record_load(layout.point_address(int(point_index)),
+                                     POINT_STRIDE_BYTES)
+            original = tree.points[int(point_index)].astype(np.float64)
+            diff = query - original
+            if float(diff @ diff) <= r2:
+                results.append(int(point_index))
+                stats.points_in_radius += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_array(self, tree: KDTree) -> Optional[CompressedStructArray]:
+        if self.array is not None:
+            return self.array
+        return getattr(tree, "compressed_array", None)
+
+    def _decoded(self, array: CompressedStructArray, leaf_id: int,
+                 ref: CompressedRef) -> tuple:
+        if self.cache_decoded and leaf_id in self._decoded_cache:
+            return self._decoded_cache[leaf_id], self._error_cache[leaf_id]
+        compressed = array.get(leaf_id)
+        reduced = decompress_leaf(compressed, self.fmt)
+        max_delta = self._max_delta_array(reduced)
+        if self.cache_decoded:
+            self._decoded_cache[leaf_id] = reduced
+            self._error_cache[leaf_id] = max_delta
+        return reduced, max_delta
+
+    def _max_delta_array(self, reduced: np.ndarray) -> np.ndarray:
+        """Per-coordinate worst-case rounding error (Eq. 6), vectorised.
+
+        The hardware derives this from the exponent field via the
+        ``part_error_mem`` lookup; here the same quantity is computed from the
+        decoded magnitudes: for normal numbers ``2**(e - bias - (m+1))`` equals
+        half a ULP of the binade the value lies in.
+        """
+        fmt = self.fmt
+        magnitude = np.abs(reduced)
+        # Biased exponent of each reduced value; zeros/subnormals use binade 1.
+        with np.errstate(divide="ignore"):
+            exponent = np.floor(np.log2(np.where(magnitude > 0, magnitude, fmt.min_normal)))
+        exponent = np.clip(exponent, 1 - fmt.bias, fmt.max_biased_exponent - fmt.bias)
+        return np.power(2.0, exponent) * 2.0 ** (-(fmt.mantissa_bits + 1))
+
+    def _baseline_inspect(self, tree, leaf, query, r2, results, stats, recorder, layout):
+        points = tree.points[leaf.indices].astype(np.float64)
+        diffs = points - query
+        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        inside = d2 <= r2
+        stats.points_examined += leaf.n_points
+        stats.points_in_radius += int(inside.sum())
+        stats.point_bytes_loaded += leaf.n_points * POINT_STRIDE_BYTES
+        if recorder is not None and layout is not None:
+            for point_index in leaf.indices:
+                recorder.record_load(layout.point_address(int(point_index)),
+                                     POINT_STRIDE_BYTES)
+        for point_index, in_radius in zip(leaf.indices, inside):
+            if in_radius:
+                results.append(int(point_index))
+
+
+class BonsaiRadiusSearch:
+    """High-level helper: compress a tree once, then issue Bonsai searches."""
+
+    def __init__(self, tree: KDTree, fmt: FloatFormat = FLOAT16,
+                 recorder: Optional[MemoryRecorder] = None,
+                 layout: Optional[TreeMemoryLayout] = None):
+        self.tree = tree
+        self.fmt = fmt
+        self.recorder = recorder
+        self.layout = layout
+        if getattr(tree, "compressed_array", None) is None:
+            self.report = compress_tree(tree, fmt)
+            self._record_compression_accesses()
+        else:
+            self.report = None
+        self.inspector = BonsaiLeafInspector(fmt=fmt)
+        self.stats = SearchStats()
+
+    def _record_compression_accesses(self) -> None:
+        """Trace the build-time compression pass through the memory recorder.
+
+        The LDSPZPB loads read every leaf point once and the STZPB stores
+        write the compressed slices into ``cmprsd_strct_array``; these
+        accesses are part of the extract kernel (the paper compresses leaves
+        during tree construction) and contribute to the Bonsai configuration's
+        cache behaviour.
+        """
+        if self.recorder is None or self.layout is None:
+            return
+        for leaf in self.tree.leaves:
+            for point_index in leaf.indices:
+                self.recorder.record_load(
+                    self.layout.point_address(int(point_index)), POINT_STRIDE_BYTES
+                )
+            ref = leaf.compressed_ref
+            if ref is None:
+                continue
+            for slice_index in range(ref.n_slices):
+                self.recorder.record_store(
+                    self.layout.compressed_address(
+                        ref.offset + slice_index * ZIPPTS_SLICE_BYTES
+                    ),
+                    ZIPPTS_SLICE_BYTES,
+                )
+
+    @property
+    def bonsai_stats(self) -> BonsaiStats:
+        """Counters specific to compressed leaf processing."""
+        return self.inspector.bonsai_stats
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Radius search over compressed leaves; identical results to baseline."""
+        from ..kdtree.radius_search import radius_search
+
+        return radius_search(
+            self.tree, query, radius, inspector=self.inspector, stats=self.stats,
+            recorder=self.recorder, layout=self.layout,
+        )

@@ -1,0 +1,204 @@
+"""Worst-case error model for reduced-precision radius search.
+
+Implements Equations 5-12 of the paper.  The point of the model is that the
+exponent of a reduced-precision coordinate ``B'`` alone bounds the rounding
+error introduced when converting the original 32-bit value ``B`` to the
+reduced format.  That bound propagates through the squared-difference and the
+three-coordinate sum, producing a *shell* around the squared search radius:
+distances outside the shell are guaranteed to classify identically to the
+full-precision computation; distances inside the shell are inconclusive and
+must be re-computed with the original 32-bit points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .floatfmt import FLOAT16, FloatFormat
+
+__all__ = [
+    "Classification",
+    "max_delta",
+    "max_eps_sd",
+    "squared_difference_with_error",
+    "approximate_squared_distance",
+    "classify_exact",
+    "classify_with_shell",
+    "ShellClassifier",
+    "PartErrorTable",
+]
+
+
+class Classification(enum.Enum):
+    """Outcome of a radius-search point classification."""
+
+    IN_RADIUS = "in_radius"
+    NOT_IN_RADIUS = "not_in_radius"
+    INCONCLUSIVE = "inconclusive"
+
+
+def max_delta(reduced_value: float, fmt: FloatFormat = FLOAT16) -> float:
+    """Worst-case |rounding error| of ``reduced_value`` (Eq. 6).
+
+    ``reduced_value`` is the value *after* conversion to ``fmt`` (i.e. ``B'``);
+    only its exponent is needed, which by construction is identical to the
+    exponent of the original value whenever the conversion does not change the
+    binade (the paper's stated assumption: the exponent is representable in
+    both formats).
+    """
+    bits = fmt.encode(reduced_value)
+    return fmt.max_rounding_error(bits)
+
+
+def max_eps_sd(a: float, b_reduced: float, fmt: FloatFormat = FLOAT16) -> float:
+    """Worst-case error of ``(a - b_reduced)**2`` w.r.t. ``(a - b)**2`` (Eq. 9)."""
+    delta = max_delta(b_reduced, fmt)
+    return 2.0 * abs(a - b_reduced) * delta + delta * delta
+
+
+def squared_difference_with_error(
+    a: float, b_reduced: float, fmt: FloatFormat = FLOAT16
+) -> Tuple[float, float]:
+    """Return ``((a - b')**2, max(eps_sd))`` for one coordinate.
+
+    This mirrors the behaviour of the (A-B')^2 functional unit (Figure 7): the
+    squared difference is computed in full precision on the reduced operand,
+    and the worst-case error is derived from the exponent of ``b_reduced`` via
+    the pre-computed ``part_error_mem`` terms.
+    """
+    diff = a - b_reduced
+    sq = diff * diff
+    return sq, max_eps_sd(a, b_reduced, fmt)
+
+
+def approximate_squared_distance(
+    query: Sequence[float],
+    point_reduced: Sequence[float],
+    fmt: FloatFormat = FLOAT16,
+) -> Tuple[float, float]:
+    """Approximate squared euclidean distance and total error bound.
+
+    Returns ``(d'^2, T_eps_sd)`` per Eqs. 10-11 of the paper, summing the
+    per-coordinate squared differences and worst-case errors.
+    """
+    d2 = 0.0
+    total_eps = 0.0
+    for a, b_reduced in zip(query, point_reduced):
+        sq, eps = squared_difference_with_error(float(a), float(b_reduced), fmt)
+        d2 += sq
+        total_eps += eps
+    return d2, total_eps
+
+
+def classify_exact(d2: float, r2: float) -> Classification:
+    """Baseline classification (Eq. 3): inside iff ``d2 <= r2``."""
+    if d2 <= r2:
+        return Classification.IN_RADIUS
+    return Classification.NOT_IN_RADIUS
+
+
+def classify_with_shell(d2_approx: float, r2: float, total_eps: float) -> Classification:
+    """Shell classification of Eq. 12.
+
+    ``d2_approx`` is the approximate squared distance (from reduced-precision
+    coordinates), ``total_eps`` the total worst-case error.  Distances inside
+    the shell ``(r2 - total_eps, r2 + total_eps]`` cannot be guaranteed to
+    match the baseline and are reported inconclusive.
+    """
+    if d2_approx <= r2 - total_eps:
+        return Classification.IN_RADIUS
+    if d2_approx > r2 + total_eps:
+        return Classification.NOT_IN_RADIUS
+    return Classification.INCONCLUSIVE
+
+
+class PartErrorTable:
+    """The ``part_error_mem`` lookup table of the (A-B')^2 functional unit.
+
+    The hardware pre-computes ``2*|max(delta)|`` and ``max(delta)^2`` for every
+    possible exponent of the reduced format (32 entries for IEEE fp16) so the
+    worst-case error can be formed with one multiply and one add (Figure 7).
+    """
+
+    def __init__(self, fmt: FloatFormat = FLOAT16):
+        self.fmt = fmt
+        self._two_delta = np.zeros(1 << fmt.exponent_bits, dtype=np.float64)
+        self._delta_sq = np.zeros(1 << fmt.exponent_bits, dtype=np.float64)
+        for exponent in range(1 << fmt.exponent_bits):
+            effective = exponent if exponent != 0 else 1
+            delta = 2.0 ** (effective - fmt.bias) * 2.0 ** (-(fmt.mantissa_bits + 1))
+            self._two_delta[exponent] = 2.0 * delta
+            self._delta_sq[exponent] = delta * delta
+
+    def __len__(self) -> int:
+        return self._two_delta.shape[0]
+
+    def lookup(self, biased_exponent: int) -> Tuple[float, float]:
+        """Return ``(2*max_delta, max_delta**2)`` for a biased exponent."""
+        return float(self._two_delta[biased_exponent]), float(self._delta_sq[biased_exponent])
+
+    def error_bound(self, a: float, b_reduced: float) -> float:
+        """Worst-case error of the squared difference using table lookups."""
+        bits = self.fmt.encode(b_reduced)
+        exponent = self.fmt.biased_exponent(bits)
+        two_delta, delta_sq = self.lookup(exponent)
+        return abs(a - b_reduced) * two_delta + delta_sq
+
+
+@dataclass
+class ShellStats:
+    """Counters accumulated by :class:`ShellClassifier`."""
+
+    total: int = 0
+    in_radius: int = 0
+    not_in_radius: int = 0
+    inconclusive: int = 0
+
+    @property
+    def inconclusive_rate(self) -> float:
+        """Fraction of classifications that required 32-bit recomputation."""
+        if self.total == 0:
+            return 0.0
+        return self.inconclusive / self.total
+
+
+class ShellClassifier:
+    """Stateful classifier applying the shell test with recompute fallback.
+
+    This is the software view of what the Bonsai-extensions compute: the
+    approximate distance and error bound come from the reduced operands, and
+    any inconclusive result is resolved by re-computing with the original
+    32-bit coordinates (Eq. 3), guaranteeing baseline-identical results.
+    """
+
+    def __init__(self, fmt: FloatFormat = FLOAT16):
+        self.fmt = fmt
+        self.stats = ShellStats()
+
+    def classify(
+        self,
+        query: Sequence[float],
+        point_reduced: Sequence[float],
+        point_original: Sequence[float],
+        r2: float,
+    ) -> Tuple[bool, bool]:
+        """Classify a point; returns ``(in_radius, recomputed)``."""
+        d2_approx, total_eps = approximate_squared_distance(query, point_reduced, self.fmt)
+        outcome = classify_with_shell(d2_approx, r2, total_eps)
+        self.stats.total += 1
+        if outcome is Classification.IN_RADIUS:
+            self.stats.in_radius += 1
+            return True, False
+        if outcome is Classification.NOT_IN_RADIUS:
+            self.stats.not_in_radius += 1
+            return False, False
+        self.stats.inconclusive += 1
+        d2 = 0.0
+        for a, b in zip(query, point_original):
+            diff = float(a) - float(b)
+            d2 += diff * diff
+        return d2 <= r2, True

@@ -1,0 +1,230 @@
+"""Value-similarity compression of k-d tree leaf points (Figure 6).
+
+A leaf's points are first converted to the reduced floating-point format
+(IEEE fp16 by default).  For each coordinate, if the <sign, exponent> tuple is
+identical across every point in the leaf, a single copy of it is stored and a
+per-coordinate flag records the sharing.  The compressed structure layout
+mirrors Figure 6 of the paper:
+
+``[cX cY cZ] [mantissas, point-major, x/y/z interleaved] [one <s,e> copy per
+compressed coordinate] [<s,e> tuples of every point for the remaining
+coordinates, point-major]``
+
+Compression is lossless with respect to the reduced 16-bit values: decoding a
+compressed leaf reproduces exactly the fp16 bit patterns that were encoded.
+The only information loss relative to the original cloud is the fp32 -> fp16
+conversion, whose error the shell classifier bounds at search time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+from .floatfmt import FLOAT16, FloatFormat
+
+__all__ = [
+    "ZIPPTS_SLICE_BYTES",
+    "MAX_POINTS_PER_LEAF",
+    "CompressedLeaf",
+    "compress_leaf",
+    "decompress_leaf",
+    "compressed_size_bits",
+]
+
+#: The ZipPts buffer exchanges data in 128-bit slices (Section IV-B).
+ZIPPTS_SLICE_BYTES = 16
+#: The ZipPts buffer holds at most 16 points (PCL default is 15 per leaf).
+MAX_POINTS_PER_LEAF = 16
+#: Number of spatial coordinates.
+N_COORDS = 3
+
+
+@dataclass(frozen=True)
+class CompressedLeaf:
+    """The compressed representation of one leaf's points.
+
+    Attributes
+    ----------
+    data:
+        The packed bytes, zero-padded to a whole number of 128-bit slices.
+    n_points:
+        Number of points encoded.
+    flags:
+        Per-coordinate sharing flags ``(cX, cY, cZ)``; ``True`` means the
+        coordinate's <sign, exponent> is stored once for the whole leaf.
+    payload_bits:
+        Exact number of meaningful bits before slice padding.
+    fmt_name:
+        Name of the reduced float format used for the coordinates.
+    """
+
+    data: bytes
+    n_points: int
+    flags: Tuple[bool, bool, bool]
+    payload_bits: int
+    fmt_name: str = FLOAT16.name
+
+    @property
+    def size_bytes(self) -> int:
+        """Padded size in bytes (what is stored in ``cmprsd_strct_array``)."""
+        return len(self.data)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Meaningful (unpadded) size in bytes, rounded up."""
+        return (self.payload_bits + 7) // 8
+
+    @property
+    def n_slices(self) -> int:
+        """Number of 128-bit ZipPts slices occupied."""
+        return len(self.data) // ZIPPTS_SLICE_BYTES
+
+    @property
+    def n_coords_compressed(self) -> int:
+        """How many of the three coordinates share their <sign, exponent>."""
+        return sum(self.flags)
+
+    def compression_ratio(self, baseline_bytes_per_point: int = 16) -> float:
+        """Compressed bytes over baseline bytes for the same points."""
+        baseline = self.n_points * baseline_bytes_per_point
+        if baseline == 0:
+            return 1.0
+        return self.size_bytes / baseline
+
+
+def _sign_exponent_bits(fmt: FloatFormat) -> int:
+    return fmt.sign_bits + fmt.exponent_bits
+
+
+def compressed_size_bits(n_points: int, flags: Sequence[bool],
+                         fmt: FloatFormat = FLOAT16) -> int:
+    """Exact payload size in bits of a compressed leaf (before padding)."""
+    se_bits = _sign_exponent_bits(fmt)
+    bits = N_COORDS  # compression flags
+    bits += n_points * N_COORDS * fmt.mantissa_bits
+    for flag in flags:
+        bits += se_bits if flag else se_bits * n_points
+    return bits
+
+
+def compress_leaf(points_fp32: np.ndarray, fmt: FloatFormat = FLOAT16) -> CompressedLeaf:
+    """Compress a leaf's ``(N, 3)`` float32 points into the Figure 6 layout.
+
+    Raises ``ValueError`` if the leaf holds more points than the ZipPts buffer
+    supports (16) or is empty.
+    """
+    points_fp32 = np.asarray(points_fp32, dtype=np.float32)
+    if points_fp32.ndim != 2 or points_fp32.shape[1] != N_COORDS:
+        raise ValueError("leaf points must form an (N, 3) array")
+    n_points = points_fp32.shape[0]
+    if n_points == 0:
+        raise ValueError("cannot compress an empty leaf")
+    if n_points > MAX_POINTS_PER_LEAF:
+        raise ValueError(
+            f"leaf holds {n_points} points; the ZipPts buffer supports at most "
+            f"{MAX_POINTS_PER_LEAF}"
+        )
+
+    # Reduced-format bit patterns, shape (N, 3).
+    bits = np.empty((n_points, N_COORDS), dtype=np.uint32)
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            bits[i, c] = fmt.encode(float(points_fp32[i, c]))
+
+    se_bits = _sign_exponent_bits(fmt)
+    se = (bits >> fmt.mantissa_bits) & ((1 << se_bits) - 1)
+    mantissa = bits & ((1 << fmt.mantissa_bits) - 1)
+
+    flags = tuple(bool(np.all(se[:, c] == se[0, c])) for c in range(N_COORDS))
+
+    writer = BitWriter()
+    for flag in flags:
+        writer.write(1 if flag else 0, 1)
+    # Mantissas bypass compression, stored point-major (x, y, z per point).
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            writer.write(int(mantissa[i, c]), fmt.mantissa_bits)
+    # Single <sign, exponent> copy per compressed coordinate.
+    for c in range(N_COORDS):
+        if flags[c]:
+            writer.write(int(se[0, c]), se_bits)
+    # Remaining <sign, exponent> tuples, point-major over uncompressed coords.
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            if not flags[c]:
+                writer.write(int(se[i, c]), se_bits)
+
+    payload_bits = writer.bit_length
+    data = writer.to_bytes(pad_to=ZIPPTS_SLICE_BYTES)
+    return CompressedLeaf(
+        data=data,
+        n_points=n_points,
+        flags=flags,  # type: ignore[arg-type]
+        payload_bits=payload_bits,
+        fmt_name=fmt.name,
+    )
+
+
+def decompress_leaf(compressed: CompressedLeaf,
+                    fmt: Optional[FloatFormat] = None) -> np.ndarray:
+    """Decompress a leaf back into its reduced-precision ``(N, 3)`` values.
+
+    The returned array is float64 holding exactly the values representable in
+    the reduced format (i.e. the values the Bonsai functional unit operates
+    on).  The fp16 bit patterns are reconstructed exactly.
+    """
+    fmt = fmt or FLOAT16
+    if fmt.name != compressed.fmt_name:
+        raise ValueError(
+            f"compressed leaf uses format {compressed.fmt_name!r}, "
+            f"decompression requested with {fmt.name!r}"
+        )
+    reader = BitReader(compressed.data)
+    n_points = compressed.n_points
+    se_bits = _sign_exponent_bits(fmt)
+
+    flags = tuple(bool(reader.read(1)) for _ in range(N_COORDS))
+    if flags != compressed.flags:
+        raise ValueError("compression flags in the bit stream disagree with metadata")
+
+    mantissa = np.empty((n_points, N_COORDS), dtype=np.uint32)
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            mantissa[i, c] = reader.read(fmt.mantissa_bits)
+
+    shared_se = {}
+    for c in range(N_COORDS):
+        if flags[c]:
+            shared_se[c] = reader.read(se_bits)
+
+    se = np.empty((n_points, N_COORDS), dtype=np.uint32)
+    for c in range(N_COORDS):
+        if flags[c]:
+            se[:, c] = shared_se[c]
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            if not flags[c]:
+                se[i, c] = reader.read(se_bits)
+
+    values = np.empty((n_points, N_COORDS), dtype=np.float64)
+    for i in range(n_points):
+        for c in range(N_COORDS):
+            packed = (int(se[i, c]) << fmt.mantissa_bits) | int(mantissa[i, c])
+            values[i, c] = fmt.decode(packed)
+    return values
+
+
+def decompress_leaf_bits(compressed: CompressedLeaf,
+                         fmt: Optional[FloatFormat] = None) -> np.ndarray:
+    """Decompress a leaf into the raw reduced-format bit patterns ``(N, 3)``."""
+    fmt = fmt or FLOAT16
+    values = decompress_leaf(compressed, fmt)
+    bits = np.empty(values.shape, dtype=np.uint32)
+    for i in range(values.shape[0]):
+        for c in range(values.shape[1]):
+            bits[i, c] = fmt.encode(float(values[i, c]))
+    return bits

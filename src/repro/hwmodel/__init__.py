@@ -1,0 +1,35 @@
+"""Hardware cost models: caches, CPU timing, energy and area."""
+
+from .area import AreaEstimate, AreaParameters, estimate_bonsai_area
+from .cache import (
+    CacheConfig,
+    CacheStats,
+    HierarchyRecorder,
+    HierarchyStats,
+    MemoryHierarchy,
+    SetAssociativeCache,
+)
+from .cpu_config import CPUConfig, TABLE_IV_CPU
+from .energy import TABLE_V, EnergyBreakdown, EnergyModel, EnergyParameters
+from .timing import KernelMetrics, TimingBreakdown, TimingModel
+
+__all__ = [
+    "AreaEstimate",
+    "AreaParameters",
+    "estimate_bonsai_area",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyRecorder",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "CPUConfig",
+    "TABLE_IV_CPU",
+    "TABLE_V",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "KernelMetrics",
+    "TimingBreakdown",
+    "TimingModel",
+]

@@ -1,0 +1,56 @@
+"""Baseline CPU model parameters (Table IV of the paper).
+
+The paper models an out-of-order ARMv8 core resembling a Cortex-A72 running
+at 3 GHz with NEON (128-bit SIMD), 32 KB 2-way L1 caches, a 1 MB 16-way L2
+and DDR3-1600 main memory.  These constants parameterise the timing and
+energy models; they are collected here so every model pulls the numbers from
+one place and the benchmark reports can print the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheConfig
+
+__all__ = ["CPUConfig", "TABLE_IV_CPU"]
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Microarchitectural parameters of the modelled core."""
+
+    name: str = "OoO ARMv8 (Cortex-A72 class)"
+    frequency_hz: float = 3.0e9
+    fetch_width: int = 3
+    issue_width: int = 8
+    int_physical_registers: int = 90
+    fp_physical_registers: int = 256
+    simd_width_bits: int = 128
+    #: Sustained IPC assumed for the instruction-throughput component of the
+    #: timing model.  A72-class cores sustain roughly 1.5-2 IPC on pointer
+    #: chasing plus vector arithmetic; the exact value cancels out in the
+    #: relative comparisons the benchmarks report.
+    sustained_ipc: float = 1.6
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, associativity=2, line_size=64, name="L1D"))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, associativity=2, line_size=64, name="L1I"))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=1024 * 1024, associativity=16, line_size=64, name="L2"))
+    #: Load-to-use latencies in cycles.
+    l1_hit_cycles: int = 4
+    l2_hit_cycles: int = 21
+    memory_latency_cycles: int = 180
+    #: Fraction of miss latency the out-of-order window hides on this
+    #: pointer-chasing workload (MLP is low during tree traversal).
+    miss_overlap_factor: float = 0.45
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Cycle time in seconds."""
+        return 1.0 / self.frequency_hz
+
+
+#: The configuration of Table IV.
+TABLE_IV_CPU = CPUConfig()

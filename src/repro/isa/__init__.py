@@ -1,0 +1,59 @@
+"""Functional model of the Bonsai-extensions (new CPU instructions)."""
+
+from .cost_model import (
+    InstructionBudget,
+    InstructionEstimate,
+    estimate_baseline,
+    estimate_bonsai,
+)
+from .encoding import (
+    BONSAI_MAJOR_OPCODE,
+    InstructionEncodingError,
+    assemble,
+    assemble_program,
+    decode_instruction,
+    decode_program,
+    disassemble,
+    encode_instruction,
+    encode_program,
+)
+from .fu import FU_LANES, SquareDiffErrorFU, VectorSquareDiffUnit
+from .instructions import CPRZPB, LDDCP, LDSPZPB, SQDWEH, SQDWEL, STZPB, BonsaiInstruction
+from .machine import BonsaiMachine, InstructionCounters
+from .memory import MemoryAccessCounters, SparseMemory
+from .registers import ScalarRegisterFile, VectorRegisterFile, VECTOR_REGISTER_BITS
+from .zippts_buffer import ZipPtsBuffer
+
+__all__ = [
+    "InstructionBudget",
+    "InstructionEstimate",
+    "estimate_baseline",
+    "estimate_bonsai",
+    "BONSAI_MAJOR_OPCODE",
+    "InstructionEncodingError",
+    "assemble",
+    "assemble_program",
+    "decode_instruction",
+    "decode_program",
+    "disassemble",
+    "encode_instruction",
+    "encode_program",
+    "FU_LANES",
+    "SquareDiffErrorFU",
+    "VectorSquareDiffUnit",
+    "CPRZPB",
+    "LDDCP",
+    "LDSPZPB",
+    "SQDWEH",
+    "SQDWEL",
+    "STZPB",
+    "BonsaiInstruction",
+    "BonsaiMachine",
+    "InstructionCounters",
+    "MemoryAccessCounters",
+    "SparseMemory",
+    "ScalarRegisterFile",
+    "VectorRegisterFile",
+    "VECTOR_REGISTER_BITS",
+    "ZipPtsBuffer",
+]

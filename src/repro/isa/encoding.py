@@ -1,0 +1,258 @@
+"""Binary encoding, assembly and disassembly of the Bonsai-extensions.
+
+The paper injects its new instructions into PCL by emitting raw byte-code
+through the ``.inst`` directive of the ARM assembler (Section V-A), i.e. each
+Bonsai instruction has a fixed 32-bit encoding living in an unused region of
+the AArch64 opcode space.  This module defines such an encoding, plus a tiny
+assembler/disassembler, so instruction streams can be serialised the same way
+a modified library would emit them:
+
+* 8-bit major opcode (``0xE0 | minor``) selecting the Bonsai group and the
+  specific instruction;
+* three 5-bit register fields (scalar or vector index, depending on the
+  instruction);
+* a 6-bit immediate used for slice counts;
+* the remaining bits are zero and reserved.
+
+The encoding is synthetic (the paper does not publish bit layouts) but it is
+complete and reversible, which is what the tests verify.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from .instructions import (
+    CPRZPB,
+    LDDCP,
+    LDSPZPB,
+    SQDWEH,
+    SQDWEL,
+    STZPB,
+    BonsaiInstruction,
+)
+
+__all__ = [
+    "BONSAI_MAJOR_OPCODE",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "decode_program",
+    "assemble",
+    "assemble_program",
+    "disassemble",
+    "InstructionEncodingError",
+]
+
+#: Top byte shared by every Bonsai-extension encoding (an unused AArch64 region).
+BONSAI_MAJOR_OPCODE = 0xE6
+
+_MINOR_OPCODES = {
+    "LDSPZPB": 0x0,
+    "CPRZPB": 0x1,
+    "STZPB": 0x2,
+    "LDDCP": 0x3,
+    "SQDWEL": 0x4,
+    "SQDWEH": 0x5,
+}
+_MNEMONIC_BY_MINOR = {value: key for key, value in _MINOR_OPCODES.items()}
+
+_REG_FIELD_BITS = 5
+_IMM_FIELD_BITS = 6
+
+
+class InstructionEncodingError(ValueError):
+    """Raised when an instruction or word cannot be (de)coded."""
+
+
+def _check_register(value: int, name: str) -> int:
+    if not 0 <= value < (1 << _REG_FIELD_BITS):
+        raise InstructionEncodingError(
+            f"{name}={value} does not fit the {_REG_FIELD_BITS}-bit register field"
+        )
+    return value
+
+
+def _check_immediate(value: int, name: str) -> int:
+    if not 0 <= value < (1 << _IMM_FIELD_BITS):
+        raise InstructionEncodingError(
+            f"{name}={value} does not fit the {_IMM_FIELD_BITS}-bit immediate field"
+        )
+    return value
+
+
+def _pack(minor: int, ra: int = 0, rb: int = 0, rc: int = 0, imm: int = 0) -> int:
+    word = (BONSAI_MAJOR_OPCODE << 24) | (minor << 21)
+    word |= _check_register(ra, "ra") << 16
+    word |= _check_register(rb, "rb") << 11
+    word |= _check_register(rc, "rc") << 6
+    word |= _check_immediate(imm, "imm")
+    return word
+
+
+def _unpack(word: int) -> Tuple[int, int, int, int, int]:
+    minor = (word >> 21) & 0x7
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+    rc = (word >> 6) & 0x1F
+    imm = word & 0x3F
+    return minor, ra, rb, rc, imm
+
+
+def encode_instruction(instruction: BonsaiInstruction) -> int:
+    """Encode one Bonsai instruction into its 32-bit word."""
+    mnemonic = instruction.mnemonic
+    minor = _MINOR_OPCODES.get(mnemonic)
+    if minor is None:
+        raise InstructionEncodingError(f"unknown Bonsai instruction {instruction!r}")
+    if mnemonic == "LDSPZPB":
+        return _pack(minor, ra=instruction.r_index, rb=instruction.r_addr)
+    if mnemonic == "CPRZPB":
+        return _pack(minor, ra=instruction.r_size, rb=instruction.r_num_pts)
+    if mnemonic == "STZPB":
+        return _pack(minor, ra=instruction.r_addr, imm=instruction.n_slices)
+    if mnemonic == "LDDCP":
+        return _pack(minor, ra=instruction.v_base, rb=instruction.r_num_pts,
+                     rc=instruction.r_addr, imm=instruction.n_slices)
+    # SQDWEL / SQDWEH share the four-register form; v_b rides in the immediate
+    # field's upper bits would not fit, so it uses the rc field and v_error the
+    # immediate (both are register indices < 32 < 64).
+    return _pack(minor, ra=instruction.v_sq_diff, rb=instruction.v_a,
+                 rc=instruction.v_b, imm=instruction.v_error)
+
+
+def decode_instruction(word: int) -> BonsaiInstruction:
+    """Decode a 32-bit word back into a Bonsai instruction."""
+    if (word >> 24) & 0xFF != BONSAI_MAJOR_OPCODE:
+        raise InstructionEncodingError(
+            f"word 0x{word:08x} does not carry the Bonsai major opcode "
+            f"0x{BONSAI_MAJOR_OPCODE:02x}"
+        )
+    minor, ra, rb, rc, imm = _unpack(word)
+    mnemonic = _MNEMONIC_BY_MINOR.get(minor)
+    if mnemonic is None:
+        raise InstructionEncodingError(f"unknown Bonsai minor opcode {minor}")
+    if mnemonic == "LDSPZPB":
+        return LDSPZPB(r_index=ra, r_addr=rb)
+    if mnemonic == "CPRZPB":
+        return CPRZPB(r_size=ra, r_num_pts=rb)
+    if mnemonic == "STZPB":
+        return STZPB(r_addr=ra, n_slices=imm)
+    if mnemonic == "LDDCP":
+        return LDDCP(v_base=ra, r_num_pts=rb, r_addr=rc, n_slices=imm)
+    if mnemonic == "SQDWEL":
+        return SQDWEL(v_sq_diff=ra, v_error=imm, v_a=rb, v_b=rc)
+    return SQDWEH(v_sq_diff=ra, v_error=imm, v_a=rb, v_b=rc)
+
+
+def encode_program(program: Iterable[BonsaiInstruction]) -> bytes:
+    """Encode an instruction sequence into little-endian byte-code.
+
+    This is the byte string a modified PCL would emit through consecutive
+    ``.inst`` directives.
+    """
+    words = [encode_instruction(instruction) for instruction in program]
+    return b"".join(word.to_bytes(4, "little") for word in words)
+
+
+def decode_program(byte_code: bytes) -> List[BonsaiInstruction]:
+    """Decode little-endian byte-code back into an instruction list."""
+    if len(byte_code) % 4 != 0:
+        raise InstructionEncodingError("byte-code length must be a multiple of 4")
+    instructions = []
+    for offset in range(0, len(byte_code), 4):
+        word = int.from_bytes(byte_code[offset:offset + 4], "little")
+        instructions.append(decode_instruction(word))
+    return instructions
+
+
+# ----------------------------------------------------------------------
+# Textual assembly
+# ----------------------------------------------------------------------
+_OPERAND_PATTERN = re.compile(r"[xvr](\d+)|#(\d+)|\[\s*[xr](\d+)\s*\]", re.IGNORECASE)
+
+
+def _parse_operands(text: str) -> List[int]:
+    values: List[int] = []
+    for match in _OPERAND_PATTERN.finditer(text):
+        for group in match.groups():
+            if group is not None:
+                values.append(int(group))
+                break
+    return values
+
+
+def assemble(line: str) -> BonsaiInstruction:
+    """Assemble one line of Bonsai assembly into an instruction.
+
+    Syntax mirrors Table II, e.g.::
+
+        LDSPZPB x1, [x2]
+        CPRZPB  x4, x3
+        STZPB   [x5], #4
+        LDDCP   v8, x6, [x7], #4
+        SQDWEL  v2, v3, v1, v9
+    """
+    stripped = line.split("//")[0].strip()
+    if not stripped:
+        raise InstructionEncodingError("cannot assemble an empty line")
+    mnemonic, _, rest = stripped.partition(" ")
+    mnemonic = mnemonic.upper()
+    operands = _parse_operands(rest)
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise InstructionEncodingError(
+                f"{mnemonic} expects {count} operands, got {len(operands)}: {line!r}"
+            )
+
+    if mnemonic == "LDSPZPB":
+        need(2)
+        return LDSPZPB(r_index=operands[0], r_addr=operands[1])
+    if mnemonic == "CPRZPB":
+        need(2)
+        return CPRZPB(r_size=operands[0], r_num_pts=operands[1])
+    if mnemonic == "STZPB":
+        need(2)
+        return STZPB(r_addr=operands[0], n_slices=operands[1])
+    if mnemonic == "LDDCP":
+        need(4)
+        return LDDCP(v_base=operands[0], r_num_pts=operands[1], r_addr=operands[2],
+                     n_slices=operands[3])
+    if mnemonic == "SQDWEL":
+        need(4)
+        return SQDWEL(v_sq_diff=operands[0], v_error=operands[1], v_a=operands[2],
+                      v_b=operands[3])
+    if mnemonic == "SQDWEH":
+        need(4)
+        return SQDWEH(v_sq_diff=operands[0], v_error=operands[1], v_a=operands[2],
+                      v_b=operands[3])
+    raise InstructionEncodingError(f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble_program(source: str) -> List[BonsaiInstruction]:
+    """Assemble a multi-line program (blank lines and // comments ignored)."""
+    instructions = []
+    for line in source.splitlines():
+        stripped = line.split("//")[0].strip()
+        if stripped:
+            instructions.append(assemble(stripped))
+    return instructions
+
+
+def disassemble(instruction: BonsaiInstruction) -> str:
+    """Render an instruction back into Table II style assembly text."""
+    mnemonic = instruction.mnemonic
+    if mnemonic == "LDSPZPB":
+        return f"LDSPZPB x{instruction.r_index}, [x{instruction.r_addr}]"
+    if mnemonic == "CPRZPB":
+        return f"CPRZPB x{instruction.r_size}, x{instruction.r_num_pts}"
+    if mnemonic == "STZPB":
+        return f"STZPB [x{instruction.r_addr}], #{instruction.n_slices}"
+    if mnemonic == "LDDCP":
+        return (f"LDDCP v{instruction.v_base}, x{instruction.r_num_pts}, "
+                f"[x{instruction.r_addr}], #{instruction.n_slices}")
+    return (f"{mnemonic} v{instruction.v_sq_diff}, v{instruction.v_error}, "
+            f"v{instruction.v_a}, v{instruction.v_b}")

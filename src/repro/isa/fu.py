@@ -1,0 +1,100 @@
+"""The approximate square-of-differences functional unit (Figures 7 and 8).
+
+One FU takes a 32-bit operand ``A`` (a query coordinate) and a 16-bit operand
+``B'`` (a decompressed leaf coordinate), extends ``B'`` to 32-bit without
+changing its value, and produces both ``(A - B')²`` and the worst-case error
+``max(εsd)``.  The error terms ``2·|max(δB)|`` and ``max(δB)²`` come from the
+32-entry ``part_error_mem`` lookup table indexed by the exponent of ``B'``.
+
+Four FUs operate in parallel on the four 32-bit SIMD lanes of the baseline
+CPU; :class:`VectorSquareDiffUnit` models that arrangement, processing either
+the low or the high half of an eight-lane 16-bit vector register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.error_model import PartErrorTable
+from ..core.floatfmt import FLOAT16, FloatFormat
+
+__all__ = ["SquareDiffErrorFU", "VectorSquareDiffUnit", "FU_LANES"]
+
+#: Number of 32-bit lanes processed per SQDWEL/SQDWEH instruction.
+FU_LANES = 4
+
+
+@dataclass
+class FUActivity:
+    """Operation counters of the functional units (feeds the energy model)."""
+
+    operations: int = 0
+    table_lookups: int = 0
+
+
+class SquareDiffErrorFU:
+    """A single (A - B')² with-error functional unit."""
+
+    def __init__(self, fmt: FloatFormat = FLOAT16,
+                 part_error: PartErrorTable | None = None):
+        self.fmt = fmt
+        self.part_error = part_error or PartErrorTable(fmt)
+        self.activity = FUActivity()
+
+    def compute(self, a: float, b_reduced: float) -> Tuple[float, float]:
+        """Return ``((a - b')², max(εsd))`` for one lane.
+
+        ``b_reduced`` must already be representable in the reduced format (it
+        comes out of the decompressed ZipPts buffer); the computation itself
+        happens in 32-bit as in the hardware.
+        """
+        self.activity.operations += 1
+        self.activity.table_lookups += 1
+        a32 = float(np.float32(a))
+        b32 = float(np.float32(b_reduced))  # widening 16->32 bit preserves the value
+        diff = float(np.float32(a32 - b32))
+        sq = float(np.float32(diff * diff))
+        bits = self.fmt.encode(b_reduced)
+        exponent = self.fmt.biased_exponent(bits)
+        two_delta, delta_sq = self.part_error.lookup(exponent)
+        error = abs(diff) * two_delta + delta_sq
+        return sq, error
+
+
+class VectorSquareDiffUnit:
+    """Four FUs operating on SIMD lanes (the SQDWEL / SQDWEH datapath)."""
+
+    def __init__(self, fmt: FloatFormat = FLOAT16):
+        self.fmt = fmt
+        self._fus = [SquareDiffErrorFU(fmt) for _ in range(FU_LANES)]
+
+    @property
+    def total_operations(self) -> int:
+        """Total number of lane operations executed so far."""
+        return sum(fu.activity.operations for fu in self._fus)
+
+    def compute_half(self, v_a: Sequence[float], v_b16: Sequence[float],
+                     high: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Process the low (``high=False``) or high half of an 8-lane fp16 vector.
+
+        ``v_a`` holds four 32-bit query lanes (the same coordinate broadcast),
+        ``v_b16`` the eight 16-bit point coordinates.  Returns the four squared
+        differences and the four worst-case errors.
+        """
+        v_a = np.asarray(v_a, dtype=np.float64)
+        v_b16 = np.asarray(v_b16, dtype=np.float64)
+        if v_a.shape[0] != FU_LANES:
+            raise ValueError(f"v_a must provide {FU_LANES} lanes")
+        if v_b16.shape[0] != 2 * FU_LANES:
+            raise ValueError(f"v_b16 must provide {2 * FU_LANES} lanes")
+        offset = FU_LANES if high else 0
+        sq = np.empty(FU_LANES, dtype=np.float64)
+        err = np.empty(FU_LANES, dtype=np.float64)
+        for lane in range(FU_LANES):
+            sq[lane], err[lane] = self._fus[lane].compute(
+                float(v_a[lane]), float(v_b16[offset + lane])
+            )
+        return sq, err

@@ -1,0 +1,137 @@
+"""The Bonsai-extension instructions (Table II of the paper).
+
+Each instruction is a small dataclass naming its operands exactly as the
+paper's Table II does; the semantics live in
+:class:`repro.isa.machine.BonsaiMachine`.  Instructions that the decoder
+breaks into several micro-operations expose a ``micro_ops`` helper so the
+machine's micro-op accounting matches Section IV-C:
+
+* ``STZPB`` issues one store micro-op per 128-bit slice;
+* ``LDDCP`` issues one load micro-op per slice, one decompress micro-op and
+  three write-back micro-ops (six vector registers, two at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "LDSPZPB",
+    "CPRZPB",
+    "STZPB",
+    "LDDCP",
+    "SQDWEL",
+    "SQDWEH",
+    "BonsaiInstruction",
+]
+
+
+@dataclass(frozen=True)
+class LDSPZPB:
+    """LoaD Single-float Point into ZipPts Buffer.
+
+    Loads one 3D point in single-float from the address in ``r_addr``,
+    converts it to 16-bit and places it at buffer slot ``r_index``.
+    """
+
+    r_index: int
+    r_addr: int
+
+    mnemonic = "LDSPZPB"
+
+    def micro_ops(self) -> int:
+        """One load micro-op plus one convert/insert micro-op."""
+        return 2
+
+
+@dataclass(frozen=True)
+class CPRZPB:
+    """ComPRess ZipPts Buffer.
+
+    Compresses the 16-bit points held in the buffer exploiting value
+    similarity.  ``r_num_pts`` holds the number of points, ``r_size`` receives
+    the size in bytes of the compressed structure.
+    """
+
+    r_size: int
+    r_num_pts: int
+
+    mnemonic = "CPRZPB"
+
+    def micro_ops(self) -> int:
+        """A single compression micro-op."""
+        return 1
+
+
+@dataclass(frozen=True)
+class STZPB:
+    """STore ZipPts Buffer to memory in 128-bit slices."""
+
+    r_addr: int
+    n_slices: int
+
+    mnemonic = "STZPB"
+
+    def micro_ops(self) -> int:
+        """One store micro-op per slice."""
+        return self.n_slices
+
+
+@dataclass(frozen=True)
+class LDDCP:
+    """LoaD Decompressing Compressed Points.
+
+    Loads ``n_slices`` 128-bit slices from the address in ``r_addr`` into the
+    ZipPts buffer, decompresses them, and writes the points back to the six
+    vector registers starting at ``v_base`` (two registers per coordinate).
+    ``r_num_pts`` holds the number of points encoded in the structure.
+    """
+
+    v_base: int
+    r_num_pts: int
+    r_addr: int
+    n_slices: int
+
+    mnemonic = "LDDCP"
+
+    def micro_ops(self) -> int:
+        """``n_slices`` loads + 1 decompress + 3 write-backs."""
+        return self.n_slices + 1 + 3
+
+
+@dataclass(frozen=True)
+class SQDWEL:
+    """SQuare Difference With Error, Low half of the 16-bit vector."""
+
+    v_sq_diff: int
+    v_error: int
+    v_a: int
+    v_b: int
+
+    mnemonic = "SQDWEL"
+    high = False
+
+    def micro_ops(self) -> int:
+        """A single vector micro-op over four lanes."""
+        return 1
+
+
+@dataclass(frozen=True)
+class SQDWEH:
+    """SQuare Difference With Error, High half of the 16-bit vector."""
+
+    v_sq_diff: int
+    v_error: int
+    v_a: int
+    v_b: int
+
+    mnemonic = "SQDWEH"
+    high = True
+
+    def micro_ops(self) -> int:
+        """A single vector micro-op over four lanes."""
+        return 1
+
+
+BonsaiInstruction = Union[LDSPZPB, CPRZPB, STZPB, LDDCP, SQDWEL, SQDWEH]

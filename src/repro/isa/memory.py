@@ -1,0 +1,113 @@
+"""Byte-addressable memory for the functional ISA model.
+
+The Bonsai instructions move data between memory, the ZipPts buffer and the
+vector register file.  This sparse paged memory backs the functional machine:
+it supports raw byte reads/writes plus typed helpers for 32-bit floats (the
+point array) and counts every access so the machine's load/store statistics
+can be checked against the micro-op expansion.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SparseMemory", "MemoryAccessCounters"]
+
+_PAGE_SIZE = 4096
+
+
+@dataclass
+class MemoryAccessCounters:
+    """Raw access counters of the functional memory."""
+
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.loads = 0
+        self.stores = 0
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+
+
+class SparseMemory:
+    """A sparse, paged, byte-addressable memory."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self.counters = MemoryAccessCounters()
+
+    # ------------------------------------------------------------------
+    # Raw byte access
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``address``."""
+        if address < 0 or size < 0:
+            raise ValueError("address and size must be non-negative")
+        self.counters.loads += 1
+        self.counters.bytes_loaded += size
+        return bytes(self._get_byte(address + i) for i in range(size))
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        self.counters.stores += 1
+        self.counters.bytes_stored += len(data)
+        for i, byte in enumerate(data):
+            self._set_byte(address + i, byte)
+
+    # ------------------------------------------------------------------
+    # Typed helpers
+    # ------------------------------------------------------------------
+    def write_float32(self, address: int, value: float) -> None:
+        """Store one 32-bit float."""
+        self.write(address, struct.pack("<f", np.float32(value)))
+
+    def read_float32(self, address: int) -> float:
+        """Load one 32-bit float."""
+        return float(struct.unpack("<f", self.read(address, 4))[0])
+
+    def write_point_fp32(self, address: int, point: Sequence[float],
+                         stride: int = 16) -> None:
+        """Store a PointXYZ record (x, y, z as fp32; stride defaults to 16 B)."""
+        data = struct.pack("<fff", *(np.float32(c) for c in point))
+        padding = b"\x00" * max(stride - 12, 0)
+        self.write(address, data + padding)
+
+    def read_point_fp32(self, address: int) -> np.ndarray:
+        """Load the x, y, z fields of a PointXYZ record."""
+        return np.array(struct.unpack("<fff", self.read(address, 12)), dtype=np.float64)
+
+    def write_points_fp32(self, base_address: int, points: Iterable[Sequence[float]],
+                          stride: int = 16) -> int:
+        """Store a contiguous array of PointXYZ records; returns bytes written."""
+        count = 0
+        for i, point in enumerate(points):
+            self.write_point_fp32(base_address + i * stride, point, stride)
+            count += 1
+        return count * stride
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get_byte(self, address: int) -> int:
+        page = self._pages.get(address // _PAGE_SIZE)
+        if page is None:
+            return 0
+        return page[address % _PAGE_SIZE]
+
+    def _set_byte(self, address: int, value: int) -> None:
+        page_index = address // _PAGE_SIZE
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_index] = page
+        page[address % _PAGE_SIZE] = value & 0xFF

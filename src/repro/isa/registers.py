@@ -1,0 +1,100 @@
+"""Register files of the functional Bonsai machine.
+
+The baseline CPU (Table IV of the paper) is an ARMv8 core with NEON: 128-bit
+vector registers, each able to hold eight 16-bit or four 32-bit lanes.  The
+Bonsai-extensions write decompressed coordinates into six vector registers
+(two per coordinate) and read query values / write results through the same
+file.  Scalar (general-purpose) registers carry addresses, sizes and point
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["VectorRegisterFile", "ScalarRegisterFile", "VECTOR_REGISTER_BITS"]
+
+#: NEON vector registers are 128 bits wide.
+VECTOR_REGISTER_BITS = 128
+_LANES_16 = VECTOR_REGISTER_BITS // 16
+_LANES_32 = VECTOR_REGISTER_BITS // 32
+
+
+class VectorRegisterFile:
+    """A file of 128-bit vector registers with 16-bit and 32-bit lane views."""
+
+    def __init__(self, n_registers: int = 32):
+        if n_registers < 1:
+            raise ValueError("need at least one vector register")
+        self.n_registers = n_registers
+        self._storage = np.zeros((n_registers, VECTOR_REGISTER_BITS // 8), dtype=np.uint8)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise IndexError(f"vector register v{index} out of range")
+
+    # ------------------------------------------------------------------
+    # 16-bit lane view (decompressed coordinates)
+    # ------------------------------------------------------------------
+    def write_f16_lanes(self, index: int, values: Sequence[float]) -> None:
+        """Write up to eight fp16 values into register ``index`` (zero padded)."""
+        self._check(index)
+        lanes = np.zeros(_LANES_16, dtype=np.float16)
+        values = np.asarray(values, dtype=np.float16)
+        if values.shape[0] > _LANES_16:
+            raise ValueError(f"a 128-bit register holds at most {_LANES_16} fp16 lanes")
+        lanes[: values.shape[0]] = values
+        self._storage[index] = lanes.view(np.uint8)
+
+    def read_f16_lanes(self, index: int) -> np.ndarray:
+        """Read register ``index`` as eight fp16 lanes (returned as float64)."""
+        self._check(index)
+        return self._storage[index].view(np.float16).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # 32-bit lane view (query values, squared differences, errors)
+    # ------------------------------------------------------------------
+    def write_f32_lanes(self, index: int, values: Sequence[float]) -> None:
+        """Write up to four fp32 values into register ``index`` (zero padded)."""
+        self._check(index)
+        lanes = np.zeros(_LANES_32, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape[0] > _LANES_32:
+            raise ValueError(f"a 128-bit register holds at most {_LANES_32} fp32 lanes")
+        lanes[: values.shape[0]] = values
+        self._storage[index] = lanes.view(np.uint8)
+
+    def read_f32_lanes(self, index: int) -> np.ndarray:
+        """Read register ``index`` as four fp32 lanes (returned as float64)."""
+        self._check(index)
+        return self._storage[index].view(np.float32).astype(np.float64)
+
+    def read_raw(self, index: int) -> bytes:
+        """Raw 16-byte contents of register ``index``."""
+        self._check(index)
+        return self._storage[index].tobytes()
+
+
+class ScalarRegisterFile:
+    """General-purpose registers holding addresses, sizes and counts."""
+
+    def __init__(self, n_registers: int = 32):
+        self.n_registers = n_registers
+        self._values: List[int] = [0] * n_registers
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise IndexError(f"scalar register x{index} out of range")
+
+    def write(self, index: int, value: int) -> None:
+        """Write an unsigned 64-bit value."""
+        self._check(index)
+        self._values[index] = int(value) & 0xFFFFFFFFFFFFFFFF
+
+    def read(self, index: int) -> int:
+        """Read a register value."""
+        self._check(index)
+        return self._values[index]

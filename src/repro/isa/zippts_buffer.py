@@ -1,0 +1,161 @@
+"""The ZipPts buffer and its compress/decompress logic (Section IV-B).
+
+The ZipPts buffer holds up to sixteen 3D points in 16-bit representation plus
+three compression-flag bits, and exchanges data with memory and the vector
+register file in 128-bit slices.  The compress/decompress logic re-arranges
+the bits between the "expanded" view (per-point fp16 coordinates) and the
+compressed Figure 6 layout; this module implements both directions on top of
+:mod:`repro.core.leaf_compression`, so the ISA model and the library-level
+compression share one codec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.floatfmt import FLOAT16, FloatFormat
+from ..core.leaf_compression import (
+    MAX_POINTS_PER_LEAF,
+    ZIPPTS_SLICE_BYTES,
+    CompressedLeaf,
+    compress_leaf,
+    decompress_leaf,
+)
+
+__all__ = ["ZipPtsBuffer"]
+
+
+class ZipPtsBuffer:
+    """Functional model of the ZipPts buffer.
+
+    The buffer has two modes of content:
+
+    * *expanded*: up to 16 points stored as reduced-precision coordinates
+      (what LDSPZPB fills and what decompression produces);
+    * *compressed*: the packed Figure 6 byte layout (what CPRZPB produces and
+      what the LDDCP load micro-operations fill).
+    """
+
+    def __init__(self, fmt: FloatFormat = FLOAT16):
+        self.fmt = fmt
+        self._points = np.full((MAX_POINTS_PER_LEAF, 3), np.nan, dtype=np.float64)
+        self._occupied = np.zeros(MAX_POINTS_PER_LEAF, dtype=bool)
+        self._compressed: Optional[CompressedLeaf] = None
+
+    # ------------------------------------------------------------------
+    # Expanded view
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of occupied point slots."""
+        return int(self._occupied.sum())
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of points the buffer can hold."""
+        return MAX_POINTS_PER_LEAF
+
+    def clear(self) -> None:
+        """Reset the buffer (both views)."""
+        self._points[:] = np.nan
+        self._occupied[:] = False
+        self._compressed = None
+
+    def load_point(self, index: int, point_fp32) -> None:
+        """Place one point into slot ``index``, converting fp32 -> reduced format.
+
+        This is what one LDSPZPB instruction does.
+        """
+        if not 0 <= index < MAX_POINTS_PER_LEAF:
+            raise IndexError(
+                f"ZipPts slot {index} out of range [0, {MAX_POINTS_PER_LEAF})"
+            )
+        point = np.asarray(point_fp32, dtype=np.float64)
+        if point.shape != (3,):
+            raise ValueError("a point must have exactly three coordinates")
+        for c in range(3):
+            self._points[index, c] = self.fmt.round_trip(float(point[c]))
+        self._occupied[index] = True
+        self._compressed = None
+
+    def points(self, n_points: Optional[int] = None) -> np.ndarray:
+        """The reduced-precision points currently held (first ``n_points`` slots)."""
+        count = self.n_points if n_points is None else n_points
+        return np.array(self._points[:count], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Compress / decompress logic
+    # ------------------------------------------------------------------
+    def compress(self, n_points: int) -> CompressedLeaf:
+        """Compress the first ``n_points`` slots (CPRZPB)."""
+        if n_points < 1 or n_points > MAX_POINTS_PER_LEAF:
+            raise ValueError("n_points must be in [1, 16]")
+        if not np.all(self._occupied[:n_points]):
+            raise ValueError("cannot compress: some of the first n_points slots are empty")
+        compressed = compress_leaf(
+            self._points[:n_points].astype(np.float32), self.fmt
+        )
+        self._compressed = compressed
+        return compressed
+
+    def load_compressed(self, data: bytes, n_points: int) -> None:
+        """Fill the buffer with compressed bytes from memory (LDDCP load µops)."""
+        if len(data) % ZIPPTS_SLICE_BYTES != 0:
+            raise ValueError("compressed data must be a whole number of 128-bit slices")
+        n_slices = len(data) // ZIPPTS_SLICE_BYTES
+        max_slices = self.max_slices()
+        if n_slices > max_slices:
+            raise ValueError(
+                f"{n_slices} slices exceed the ZipPts buffer capacity of {max_slices}"
+            )
+        # Flags live in the first bits of the stream; reconstruct them so the
+        # CompressedLeaf metadata matches the payload.
+        first_byte = data[0]
+        flags = (bool(first_byte & 0x80), bool(first_byte & 0x40), bool(first_byte & 0x20))
+        from ..core.leaf_compression import compressed_size_bits
+
+        payload_bits = compressed_size_bits(n_points, flags, self.fmt)
+        self._compressed = CompressedLeaf(
+            data=data,
+            n_points=n_points,
+            flags=flags,
+            payload_bits=payload_bits,
+            fmt_name=self.fmt.name,
+        )
+        self._occupied[:] = False
+
+    def decompress(self) -> np.ndarray:
+        """Expand the compressed content back into point slots (LDDCP decompress µop)."""
+        if self._compressed is None:
+            raise ValueError("ZipPts buffer holds no compressed structure")
+        values = decompress_leaf(self._compressed, self.fmt)
+        self._points[: values.shape[0]] = values
+        self._occupied[: values.shape[0]] = True
+        self._occupied[values.shape[0]:] = False
+        return values
+
+    # ------------------------------------------------------------------
+    # Slice interface
+    # ------------------------------------------------------------------
+    def compressed_slices(self) -> List[bytes]:
+        """The compressed content as 128-bit slices (what STZPB stores)."""
+        if self._compressed is None:
+            raise ValueError("ZipPts buffer holds no compressed structure")
+        data = self._compressed.data
+        return [
+            data[offset: offset + ZIPPTS_SLICE_BYTES]
+            for offset in range(0, len(data), ZIPPTS_SLICE_BYTES)
+        ]
+
+    @property
+    def compressed(self) -> Optional[CompressedLeaf]:
+        """The compressed structure currently held, if any."""
+        return self._compressed
+
+    def max_slices(self) -> int:
+        """Capacity of the buffer in 128-bit slices (16 uncompressed points)."""
+        bits = MAX_POINTS_PER_LEAF * 3 * self.fmt.total_bits + 3
+        n_bytes = (bits + 7) // 8
+        return (n_bytes + ZIPPTS_SLICE_BYTES - 1) // ZIPPTS_SLICE_BYTES

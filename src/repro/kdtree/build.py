@@ -1,0 +1,234 @@
+"""K-d tree construction (PCL/FLANN-style).
+
+The builder follows the optimised k-d tree of Friedman/Bentley/Finkel as
+implemented by FLANN's single-tree index (the index PCL's ``KdTreeFLANN``
+uses, and which Autoware's euclidean cluster relies on):
+
+* points are stored only in leaves, at most ``max_leaf_size`` per leaf
+  (PCL's default is 15);
+* each interior node splits on the coordinate whose values are most spread
+  out within the node's bounding box;
+* the split value is the median of that coordinate, so the tree stays
+  balanced regardless of point distribution;
+* every node records its bounding box, and interior nodes record the edges of
+  the two children along the split coordinate (used by the search to bound
+  the distance to the not-taken sub-tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..pointcloud.cloud import PointCloud
+from .node import InteriorNode, LeafNode, Node
+
+__all__ = ["KDTree", "KDTreeConfig", "build_kdtree"]
+
+#: PCL's default maximum number of points per leaf.
+DEFAULT_MAX_LEAF_SIZE = 15
+
+
+@dataclass
+class KDTreeConfig:
+    """Build-time parameters of the k-d tree."""
+
+    max_leaf_size: int = DEFAULT_MAX_LEAF_SIZE
+
+    def __post_init__(self) -> None:
+        if self.max_leaf_size < 1:
+            raise ValueError("max_leaf_size must be at least 1")
+
+
+@dataclass
+class KDTreeStats:
+    """Structural statistics collected while building the tree."""
+
+    n_points: int = 0
+    n_leaves: int = 0
+    n_interior: int = 0
+    max_depth: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (leaves plus interior nodes)."""
+        return self.n_leaves + self.n_interior
+
+
+class KDTree:
+    """A leaf-based k-d tree over a fixed set of 3D points."""
+
+    def __init__(self, points: np.ndarray, root: Node, config: KDTreeConfig,
+                 stats: KDTreeStats, leaves: List[LeafNode]):
+        self._points = points
+        self.root = root
+        self.config = config
+        self.stats = stats
+        self._leaves = leaves
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(N, 3)`` float32 point array the tree indexes."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._points.shape[0]
+
+    @property
+    def leaves(self) -> List[LeafNode]:
+        """All leaf nodes in build order (leaf_id order)."""
+        return self._leaves
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return len(self._leaves)
+
+    def depth(self) -> int:
+        """Maximum depth of the tree (root at depth 0)."""
+        return self.stats.max_depth
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Depth-first iteration over all nodes."""
+        stack: List[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def leaf_points(self, leaf: LeafNode) -> np.ndarray:
+        """The coordinate array of the points stored in ``leaf``."""
+        return self._points[leaf.indices]
+
+    def validate(self) -> None:
+        """Check the structural invariants of the tree.
+
+        * every point index appears in exactly one leaf;
+        * leaves are no larger than ``max_leaf_size``;
+        * every leaf point lies inside the leaf's bounding box;
+        * for every interior node, left-subtree values along the split
+          coordinate are <= ``split_low`` and right-subtree values are >=
+          ``split_high``.
+
+        Raises ``AssertionError`` when an invariant is violated (used by the
+        test-suite and by property-based tests).
+        """
+        seen = np.zeros(self.n_points, dtype=bool)
+        for leaf in self._leaves:
+            assert leaf.n_points <= self.config.max_leaf_size, "oversized leaf"
+            assert not np.any(seen[leaf.indices]), "point indexed by two leaves"
+            seen[leaf.indices] = True
+            pts = self.leaf_points(leaf).astype(np.float64)
+            assert np.all(pts >= leaf.bbox_min - 1e-6), "point below leaf bbox"
+            assert np.all(pts <= leaf.bbox_max + 1e-6), "point above leaf bbox"
+        assert np.all(seen), "point missing from every leaf"
+
+        def check(node: Node) -> Tuple[float, float]:
+            if node.is_leaf:
+                return 0.0, 0.0
+            left_vals = self._subtree_values(node.left, node.split_dim)
+            right_vals = self._subtree_values(node.right, node.split_dim)
+            assert left_vals.max() <= node.split_low + 1e-6, "left child exceeds split_low"
+            assert right_vals.min() >= node.split_high - 1e-6, "right child below split_high"
+            check(node.left)
+            check(node.right)
+            return 0.0, 0.0
+
+        check(self.root)
+
+    def _subtree_values(self, node: Node, dim: int) -> np.ndarray:
+        indices: List[np.ndarray] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                indices.append(current.indices)
+            else:
+                stack.append(current.left)
+                stack.append(current.right)
+        return self._points[np.concatenate(indices), dim].astype(np.float64)
+
+
+def build_kdtree(cloud_or_points, config: Optional[KDTreeConfig] = None) -> KDTree:
+    """Build a k-d tree over a :class:`PointCloud` or an ``(N, 3)`` array."""
+    config = config or KDTreeConfig()
+    if isinstance(cloud_or_points, PointCloud):
+        points = cloud_or_points.points
+    else:
+        points = np.asarray(cloud_or_points, dtype=np.float32)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must form an (N, 3) array")
+    if points.shape[0] == 0:
+        raise ValueError("cannot build a k-d tree over an empty point set")
+
+    points = np.ascontiguousarray(points, dtype=np.float32)
+    stats = KDTreeStats(n_points=points.shape[0])
+    leaves: List[LeafNode] = []
+    indices = np.arange(points.shape[0], dtype=np.intp)
+    root = _build_recursive(points, indices, config, stats, leaves, depth=0)
+    return KDTree(points, root, config, stats, leaves)
+
+
+def _build_recursive(points: np.ndarray, indices: np.ndarray, config: KDTreeConfig,
+                     stats: KDTreeStats, leaves: List[LeafNode], depth: int) -> Node:
+    stats.max_depth = max(stats.max_depth, depth)
+    subset = points[indices].astype(np.float64)
+    bbox_min = subset.min(axis=0)
+    bbox_max = subset.max(axis=0)
+
+    if indices.shape[0] <= config.max_leaf_size:
+        leaf = LeafNode(
+            indices=np.array(indices, dtype=np.intp),
+            leaf_id=len(leaves),
+            bbox_min=bbox_min,
+            bbox_max=bbox_max,
+        )
+        leaves.append(leaf)
+        stats.n_leaves += 1
+        return leaf
+
+    spread = bbox_max - bbox_min
+    split_dim = int(np.argmax(spread))
+    values = subset[:, split_dim]
+    split_value = float(np.median(values))
+
+    left_mask = values <= split_value
+    # Degenerate splits (all values equal, or the median swallowing every
+    # point) are resolved by splitting the sorted order in half, which keeps
+    # the recursion making progress.
+    if left_mask.all() or not left_mask.any():
+        order = np.argsort(values, kind="stable")
+        half = indices.shape[0] // 2
+        left_idx = indices[order[:half]]
+        right_idx = indices[order[half:]]
+    else:
+        left_idx = indices[left_mask]
+        right_idx = indices[~left_mask]
+
+    left_values = points[left_idx, split_dim].astype(np.float64)
+    right_values = points[right_idx, split_dim].astype(np.float64)
+    split_low = float(left_values.max())
+    split_high = float(right_values.min())
+
+    left = _build_recursive(points, left_idx, config, stats, leaves, depth + 1)
+    right = _build_recursive(points, right_idx, config, stats, leaves, depth + 1)
+    stats.n_interior += 1
+    return InteriorNode(
+        split_dim=split_dim,
+        split_value=split_value,
+        split_low=split_low,
+        split_high=split_high,
+        left=left,
+        right=right,
+        bbox_min=bbox_min,
+        bbox_max=bbox_max,
+    )

@@ -1,0 +1,87 @@
+"""K-nearest-neighbour search over the k-d tree.
+
+Radius search is the paper's target operation, but the same tree serves
+nearest-neighbour queries in related Autoware code paths (NDT voxel lookup,
+registration correspondences).  The implementation follows the classic
+branch-and-bound descent: visit the near child first, keep a bounded max-heap
+of the best candidates, and prune the far child when its region cannot beat
+the current k-th best distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .build import KDTree
+from .node import Node
+from .radius_search import SearchStats
+
+__all__ = ["nearest_neighbors", "nearest_neighbor"]
+
+
+def nearest_neighbors(
+    tree: KDTree,
+    query: Sequence[float],
+    k: int,
+    stats: Optional[SearchStats] = None,
+) -> List[Tuple[int, float]]:
+    """Return the ``k`` nearest points to ``query`` as ``(index, distance)``.
+
+    Results are sorted by increasing distance.  If the tree holds fewer than
+    ``k`` points, all points are returned.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    query_arr = np.asarray(query, dtype=np.float64)
+    if query_arr.shape != (3,):
+        raise ValueError("query must be a 3D point")
+    stats = stats if stats is not None else SearchStats()
+    stats.queries += 1
+
+    # Max-heap of (-d2, index); the root is the worst of the current best-k.
+    heap: List[Tuple[float, int]] = []
+
+    def worst_d2() -> float:
+        if len(heap) < k:
+            return float("inf")
+        return -heap[0][0]
+
+    def visit(node: Node) -> None:
+        if node.is_leaf:
+            stats.note_leaf_visit(node.leaf_id)
+            points = tree.points[node.indices].astype(np.float64)
+            diffs = points - query_arr
+            d2 = np.einsum("ij,ij->i", diffs, diffs)
+            stats.points_examined += node.n_points
+            for point_index, dist2 in zip(node.indices, d2):
+                if len(heap) < k:
+                    heapq.heappush(heap, (-float(dist2), int(point_index)))
+                elif dist2 < worst_d2():
+                    heapq.heapreplace(heap, (-float(dist2), int(point_index)))
+            return
+
+        stats.interior_visited += 1
+        value = query_arr[node.split_dim]
+        if value <= node.split_value:
+            near, far = node.left, node.right
+            far_gap = node.split_high - value
+        else:
+            near, far = node.right, node.left
+            far_gap = value - node.split_low
+        visit(near)
+        if far_gap * far_gap <= worst_d2():
+            visit(far)
+
+    visit(tree.root)
+    ordered = sorted(((-neg_d2, idx) for neg_d2, idx in heap))
+    return [(idx, float(np.sqrt(d2))) for d2, idx in ordered]
+
+
+def nearest_neighbor(tree: KDTree, query: Sequence[float],
+                     stats: Optional[SearchStats] = None) -> Tuple[int, float]:
+    """Return the single nearest point to ``query`` as ``(index, distance)``."""
+    result = nearest_neighbors(tree, query, k=1, stats=stats)
+    return result[0]

@@ -1,0 +1,102 @@
+"""Virtual memory layout of the k-d tree data structures.
+
+The hardware model (caches, byte counters) needs addresses for the loads a
+radius search performs.  This module assigns a deterministic virtual layout to
+the structures PCL/FLANN allocate:
+
+* the point array (``PointXYZ`` is four 32-bit floats: x, y, z, padding);
+* the per-leaf index array (``vind`` in FLANN: one 32-bit index per point);
+* the node records of the tree itself;
+* the compressed-structure array (``cmprsd_strct_array``) introduced by
+  K-D Bonsai, which stores compressed leaves contiguously.
+
+The addresses are synthetic but the relative placement (separate contiguous
+regions, per-point strides) matches the real allocations, which is what
+determines cache behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .node import LeafNode
+
+__all__ = ["TreeMemoryLayout", "POINT_STRIDE_BYTES", "INDEX_STRIDE_BYTES", "NODE_RECORD_BYTES"]
+
+#: PCL stores PointXYZ as 4 x float32 (x, y, z, padding).
+POINT_STRIDE_BYTES = 16
+#: FLANN's vind array holds 32-bit point indices.
+INDEX_STRIDE_BYTES = 4
+#: Approximate size of one FLANN node record (child pointers + split info).
+NODE_RECORD_BYTES = 32
+
+_POINTS_BASE = 0x1000_0000
+_INDICES_BASE = 0x2000_0000
+_NODES_BASE = 0x3000_0000
+_COMPRESSED_BASE = 0x4000_0000
+_QUERY_BASE = 0x5000_0000
+_RESULT_BASE = 0x6000_0000
+_FLAGS_BASE = 0x7000_0000
+_QUEUE_BASE = 0x7800_0000
+
+
+@dataclass
+class TreeMemoryLayout:
+    """Address calculator for one tree instance.
+
+    A fresh layout should be created per tree (per frame); all trees share the
+    same base addresses, which mirrors an allocator reusing the same arena
+    frame after frame.
+    """
+
+    n_points: int
+    points_base: int = _POINTS_BASE
+    indices_base: int = _INDICES_BASE
+    nodes_base: int = _NODES_BASE
+    compressed_base: int = _COMPRESSED_BASE
+    query_base: int = _QUERY_BASE
+    result_base: int = _RESULT_BASE
+    flags_base: int = _FLAGS_BASE
+    queue_base: int = _QUEUE_BASE
+
+    # ------------------------------------------------------------------
+    # Baseline structures
+    # ------------------------------------------------------------------
+    def point_address(self, point_index: int) -> int:
+        """Address of the ``PointXYZ`` record of ``point_index``."""
+        return self.points_base + point_index * POINT_STRIDE_BYTES
+
+    def index_entry_address(self, position: int) -> int:
+        """Address of the ``position``-th entry of the leaf index (vind) array."""
+        return self.indices_base + position * INDEX_STRIDE_BYTES
+
+    def node_address(self, node_ordinal: int) -> int:
+        """Address of the ``node_ordinal``-th node record."""
+        return self.nodes_base + node_ordinal * NODE_RECORD_BYTES
+
+    # ------------------------------------------------------------------
+    # K-D Bonsai structures
+    # ------------------------------------------------------------------
+    def compressed_address(self, byte_offset: int) -> int:
+        """Address of a byte inside ``cmprsd_strct_array``."""
+        return self.compressed_base + byte_offset
+
+    def query_address(self) -> int:
+        """Address of the query point (stack/register spill area)."""
+        return self.query_base
+
+    def result_address(self, slot: int) -> int:
+        """Address of the ``slot``-th entry of the result index vector."""
+        return self.result_base + slot * INDEX_STRIDE_BYTES
+
+    # ------------------------------------------------------------------
+    # Cluster-extraction structures (the BFS bookkeeping of the extract kernel)
+    # ------------------------------------------------------------------
+    def flag_address(self, point_index: int) -> int:
+        """Address of the ``processed`` flag byte of ``point_index``."""
+        return self.flags_base + point_index
+
+    def queue_address(self, slot: int) -> int:
+        """Address of the ``slot``-th entry of the BFS frontier queue."""
+        return self.queue_base + slot * INDEX_STRIDE_BYTES

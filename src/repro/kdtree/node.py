@@ -1,0 +1,92 @@
+"""K-d tree node types.
+
+The tree follows the optimised k-d tree layout used by PCL/FLANN (and assumed
+by the paper): points live only in the leaves (up to ``max_leaf_size`` of
+them, default 15), while interior nodes record the splitting coordinate and
+the boundaries of the two child sub-trees along that coordinate, which is
+exactly the information the radius-search traversal needs to decide whether
+the farther sub-tree can contain points within the search radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["LeafNode", "InteriorNode", "Node"]
+
+
+@dataclass
+class LeafNode:
+    """A leaf holding the indices of the points it contains.
+
+    Attributes
+    ----------
+    indices:
+        Indices into the tree's point array, in the order produced by the
+        build partitioning (mirroring FLANN's ``vind`` sub-range).
+    leaf_id:
+        Sequential identifier assigned at build time; used to attach
+        compressed structures and per-leaf statistics.
+    bbox_min / bbox_max:
+        Axis-aligned bounding box of the points in the leaf.
+    compressed_ref:
+        Optional reference into the compressed-structure array
+        (:class:`repro.core.compressed_leaf.CompressedStructArray`): the
+        paper reuses otherwise-unused leaf fields to store the offset and
+        length of the leaf's compressed data, which is what this attribute
+        models.
+    """
+
+    indices: np.ndarray
+    leaf_id: int
+    bbox_min: np.ndarray
+    bbox_max: np.ndarray
+    compressed_ref: Optional[object] = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of points stored in the leaf."""
+        return int(self.indices.shape[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"LeafNode(id={self.leaf_id}, n_points={self.n_points})"
+
+
+@dataclass
+class InteriorNode:
+    """An interior node guiding traversal.
+
+    ``split_low`` is the maximum value of the splitting coordinate in the left
+    sub-tree and ``split_high`` the minimum value in the right sub-tree (the
+    child bounding-box edges the paper describes parents as holding).  The
+    distance from a query to the not-taken sub-tree along the splitting
+    coordinate is measured against these edges.
+    """
+
+    split_dim: int
+    split_value: float
+    split_low: float
+    split_high: float
+    left: "Node"
+    right: "Node"
+    bbox_min: np.ndarray
+    bbox_max: np.ndarray
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"InteriorNode(dim={self.split_dim}, value={self.split_value:.3f})"
+        )
+
+
+Node = Union[LeafNode, InteriorNode]

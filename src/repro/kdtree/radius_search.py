@@ -1,0 +1,216 @@
+"""Baseline radius search over the k-d tree.
+
+The traversal matches PCL/FLANN: descend towards the child whose region
+contains the query, then on the way back up visit the other child whenever its
+region is within the search radius along the splitting coordinate.  Every leaf
+reached is handed to a *leaf inspector*, which classifies the leaf's points.
+
+The inspector is pluggable so that the baseline 32-bit inspection and the
+K-D Bonsai compressed inspection share exactly the same traversal (only leaf
+processing differs, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .build import KDTree
+from .layout import POINT_STRIDE_BYTES, NODE_RECORD_BYTES, TreeMemoryLayout
+from .node import LeafNode, Node
+
+__all__ = [
+    "SearchStats",
+    "MemoryRecorder",
+    "LeafInspector",
+    "Float32LeafInspector",
+    "radius_search",
+    "RadiusSearcher",
+]
+
+
+class MemoryRecorder(Protocol):
+    """Sink for the loads/stores a search performs (duck-typed).
+
+    Implementations live in :mod:`repro.hwmodel`; the search only needs the
+    two methods below.
+    """
+
+    def record_load(self, address: int, size: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def record_store(self, address: int, size: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated across one or more radius searches."""
+
+    queries: int = 0
+    leaves_visited: int = 0
+    interior_visited: int = 0
+    points_examined: int = 0
+    points_in_radius: int = 0
+    point_bytes_loaded: int = 0
+    leaf_visit_counts: Dict[int, int] = field(default_factory=dict)
+
+    def note_leaf_visit(self, leaf_id: int) -> None:
+        """Record one visit to ``leaf_id``."""
+        self.leaves_visited += 1
+        self.leaf_visit_counts[leaf_id] = self.leaf_visit_counts.get(leaf_id, 0) + 1
+
+    @property
+    def mean_visits_per_leaf(self) -> float:
+        """Average number of visits per distinct leaf (the paper's ~52)."""
+        if not self.leaf_visit_counts:
+            return 0.0
+        return self.leaves_visited / len(self.leaf_visit_counts)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate ``other``'s counters into this object."""
+        self.queries += other.queries
+        self.leaves_visited += other.leaves_visited
+        self.interior_visited += other.interior_visited
+        self.points_examined += other.points_examined
+        self.points_in_radius += other.points_in_radius
+        self.point_bytes_loaded += other.point_bytes_loaded
+        for leaf_id, count in other.leaf_visit_counts.items():
+            self.leaf_visit_counts[leaf_id] = self.leaf_visit_counts.get(leaf_id, 0) + count
+
+
+class LeafInspector(Protocol):
+    """Classifies the points of one leaf against a query and radius."""
+
+    def inspect(
+        self,
+        tree: KDTree,
+        leaf: LeafNode,
+        query: np.ndarray,
+        r2: float,
+        results: List[int],
+        stats: SearchStats,
+        recorder: Optional[MemoryRecorder],
+        layout: Optional[TreeMemoryLayout],
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Float32LeafInspector:
+    """Baseline leaf inspection: full 32-bit points, exact classification.
+
+    Models PCL's behaviour: for every point in the leaf, load its index from
+    the vind array, load the 16-byte ``PointXYZ`` record, compute the squared
+    euclidean distance in 32-bit and compare against ``r2``.
+    """
+
+    def inspect(self, tree, leaf, query, r2, results, stats, recorder, layout) -> None:
+        points = tree.points[leaf.indices].astype(np.float64)
+        diffs = points - query
+        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        inside = d2 <= r2
+
+        stats.points_examined += leaf.n_points
+        stats.points_in_radius += int(inside.sum())
+        stats.point_bytes_loaded += leaf.n_points * POINT_STRIDE_BYTES
+
+        if recorder is not None and layout is not None:
+            for position, point_index in enumerate(leaf.indices):
+                recorder.record_load(
+                    layout.index_entry_address(int(point_index)), 4
+                )
+                recorder.record_load(layout.point_address(int(point_index)), POINT_STRIDE_BYTES)
+
+        for point_index, in_radius in zip(leaf.indices, inside):
+            if in_radius:
+                results.append(int(point_index))
+
+
+def radius_search(
+    tree: KDTree,
+    query: Sequence[float],
+    radius: float,
+    inspector: Optional[LeafInspector] = None,
+    stats: Optional[SearchStats] = None,
+    recorder: Optional[MemoryRecorder] = None,
+    layout: Optional[TreeMemoryLayout] = None,
+) -> List[int]:
+    """Return the indices of all tree points within ``radius`` of ``query``.
+
+    Parameters
+    ----------
+    inspector:
+        Leaf-processing strategy; defaults to the baseline 32-bit inspector.
+    stats / recorder / layout:
+        Optional accounting hooks (search counters, memory-access recorder and
+        address layout).
+    """
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    inspector = inspector or Float32LeafInspector()
+    stats = stats if stats is not None else SearchStats()
+    query_arr = np.asarray(query, dtype=np.float64)
+    if query_arr.shape != (3,):
+        raise ValueError("query must be a 3D point")
+    r2 = float(radius) * float(radius)
+    results: List[int] = []
+    stats.queries += 1
+    _search_node(tree, tree.root, query_arr, float(radius), r2, inspector,
+                 results, stats, recorder, layout, node_ordinal=[0])
+    return results
+
+
+def _search_node(tree, node: Node, query: np.ndarray, radius: float, r2: float,
+                 inspector: LeafInspector, results: List[int], stats: SearchStats,
+                 recorder, layout, node_ordinal: List[int]) -> None:
+    ordinal = node_ordinal[0]
+    node_ordinal[0] += 1
+    if recorder is not None and layout is not None:
+        recorder.record_load(layout.node_address(ordinal), NODE_RECORD_BYTES)
+
+    if node.is_leaf:
+        stats.note_leaf_visit(node.leaf_id)
+        inspector.inspect(tree, node, query, r2, results, stats, recorder, layout)
+        return
+
+    stats.interior_visited += 1
+    value = query[node.split_dim]
+    if value <= node.split_value:
+        near, far = node.left, node.right
+        # Distance from the query to the far (right) sub-tree's edge.
+        far_gap = node.split_high - value
+    else:
+        near, far = node.right, node.left
+        far_gap = value - node.split_low
+
+    _search_node(tree, near, query, radius, r2, inspector, results, stats,
+                 recorder, layout, node_ordinal)
+    if far_gap <= radius:
+        _search_node(tree, far, query, radius, r2, inspector, results, stats,
+                     recorder, layout, node_ordinal)
+
+
+class RadiusSearcher:
+    """Convenience wrapper binding a tree, an inspector and accounting hooks.
+
+    Useful when issuing many queries against the same tree (the common pattern
+    in euclidean clustering): statistics accumulate across queries.
+    """
+
+    def __init__(self, tree: KDTree, inspector: Optional[LeafInspector] = None,
+                 recorder: Optional[MemoryRecorder] = None,
+                 layout: Optional[TreeMemoryLayout] = None):
+        self.tree = tree
+        self.inspector = inspector or Float32LeafInspector()
+        self.recorder = recorder
+        self.layout = layout
+        self.stats = SearchStats()
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Radius search accumulating into the shared :class:`SearchStats`."""
+        return radius_search(
+            self.tree, query, radius, inspector=self.inspector, stats=self.stats,
+            recorder=self.recorder, layout=self.layout,
+        )

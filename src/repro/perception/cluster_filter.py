@@ -1,0 +1,88 @@
+"""Post-processing of extracted clusters.
+
+Autoware's euclidean-cluster node labels clusters, fits bounding boxes and
+filters detections before publishing them to the rest of the stack.  The
+helpers here reproduce that "labeling" stage — the part of the end-to-end
+latency that is *not* radius search — so the end-to-end timing model covers
+the same phases the paper measures (pre-processing, extract kernel,
+labeling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..pointcloud.cloud import BoundingBox, PointCloud
+from .euclidean_cluster import Cluster
+
+__all__ = ["DetectedObject", "label_clusters", "filter_by_extent", "match_clusters_to_labels"]
+
+
+@dataclass
+class DetectedObject:
+    """A published detection: bounding box, centroid and a coarse class."""
+
+    cluster_id: int
+    centroid: np.ndarray
+    bbox: BoundingBox
+    n_points: int
+    label: str
+
+    @property
+    def footprint_area(self) -> float:
+        """Area of the bounding box projected on the ground plane."""
+        extent = self.bbox.extent
+        return float(extent[0] * extent[1])
+
+
+def _classify_extent(extent: np.ndarray) -> str:
+    """Coarse class from bounding-box dimensions (vehicle/pedestrian/etc.)."""
+    length, width, height = float(extent[0]), float(extent[1]), float(extent[2])
+    long_side = max(length, width)
+    short_side = min(length, width)
+    if long_side > 2.5 and height > 0.8:
+        return "vehicle"
+    if height > 2.5 and short_side < 0.8:
+        return "pole"
+    if long_side < 1.2 and 1.2 < height <= 2.5:
+        return "pedestrian"
+    return "unknown"
+
+
+def label_clusters(cloud: PointCloud, clusters: Sequence[Cluster]) -> List[DetectedObject]:
+    """Turn raw clusters into labelled detections (the node's output stage)."""
+    detections: List[DetectedObject] = []
+    for cluster_id, cluster in enumerate(clusters):
+        detections.append(
+            DetectedObject(
+                cluster_id=cluster_id,
+                centroid=cluster.centroid,
+                bbox=cluster.bbox,
+                n_points=cluster.size,
+                label=_classify_extent(cluster.bbox.extent),
+            )
+        )
+    return detections
+
+
+def filter_by_extent(detections: Sequence[DetectedObject],
+                     min_extent: float = 0.2,
+                     max_extent: float = 15.0) -> List[DetectedObject]:
+    """Drop detections whose largest dimension falls outside the given bounds."""
+    kept: List[DetectedObject] = []
+    for detection in detections:
+        largest = float(np.max(detection.bbox.extent))
+        if min_extent <= largest <= max_extent:
+            kept.append(detection)
+    return kept
+
+
+def match_clusters_to_labels(detections: Sequence[DetectedObject]) -> Dict[str, int]:
+    """Histogram of detection labels (used by tests and examples)."""
+    histogram: Dict[str, int] = {}
+    for detection in detections:
+        histogram[detection.label] = histogram.get(detection.label, 0) + 1
+    return histogram

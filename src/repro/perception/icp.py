@@ -1,0 +1,177 @@
+"""Point-to-point ICP registration (baseline comparator).
+
+NDT is one of two registration families the paper cites for LiDAR
+localization; the other is the classic Iterative Closest Point algorithm
+(Besl & McKay).  ICP's correspondence step is a nearest-neighbour search over
+the map's k-d tree, so it is another consumer of the structures this library
+accelerates.  The implementation supports both the baseline kNN and the
+compressed (Bonsai) kNN as the correspondence engine, returning identical
+transforms either way.
+
+Only the rigid 3-DoF translation + yaw case is solved (the planar motion an
+autonomous vehicle performs between consecutive frames), using the standard
+SVD-based closed form per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bonsai_knn import BonsaiNearestNeighbors
+from ..kdtree.build import KDTree, build_kdtree
+from ..kdtree.knn import nearest_neighbor
+from ..kdtree.radius_search import SearchStats
+from ..pointcloud.cloud import PointCloud
+
+__all__ = ["ICPConfig", "ICPResult", "ICPMatcher"]
+
+
+@dataclass
+class ICPConfig:
+    """Parameters of the ICP matcher."""
+
+    max_iterations: int = 20
+    #: Correspondences farther than this are rejected as outliers (metres).
+    max_correspondence_distance: float = 1.5
+    #: Convergence threshold on the per-iteration transform update.
+    convergence_translation: float = 1e-4
+    convergence_rotation_rad: float = 1e-4
+    #: Scan points are sub-sampled to at most this many before matching.
+    max_scan_points: int = 400
+
+
+@dataclass
+class ICPResult:
+    """Outcome of one ICP registration."""
+
+    rotation: np.ndarray
+    translation: np.ndarray
+    iterations: int
+    converged: bool
+    inlier_rmse: float
+    n_correspondences: int
+
+    @property
+    def yaw(self) -> float:
+        """Estimated yaw angle (radians) of the planar rotation."""
+        return float(np.arctan2(self.rotation[1, 0], self.rotation[0, 0]))
+
+
+class ICPMatcher:
+    """Registers scans against a map cloud with point-to-point ICP."""
+
+    def __init__(self, map_cloud: PointCloud, config: Optional[ICPConfig] = None,
+                 use_bonsai: bool = False):
+        if map_cloud.is_empty:
+            raise ValueError("cannot build an ICP matcher over an empty map")
+        self.config = config or ICPConfig()
+        self.use_bonsai = use_bonsai
+        self.tree: KDTree = build_kdtree(map_cloud)
+        self.search_stats = SearchStats()
+        self._bonsai_knn = BonsaiNearestNeighbors(self.tree) if use_bonsai else None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def register(self, scan: PointCloud,
+                 initial_translation: Sequence[float] = (0.0, 0.0, 0.0),
+                 initial_yaw: float = 0.0) -> ICPResult:
+        """Estimate the planar rigid transform aligning ``scan`` onto the map."""
+        config = self.config
+        points = scan.points.astype(np.float64)
+        if points.shape[0] > config.max_scan_points:
+            step = points.shape[0] // config.max_scan_points
+            points = points[::step][: config.max_scan_points]
+
+        rotation = _yaw_rotation(initial_yaw)
+        translation = np.asarray(initial_translation, dtype=np.float64).copy()
+        converged = False
+        rmse = float("inf")
+        n_inliers = 0
+        iterations = 0
+
+        for iterations in range(1, config.max_iterations + 1):
+            transformed = points @ rotation.T + translation
+            sources, targets = self._correspondences(points, transformed)
+            n_inliers = sources.shape[0]
+            if n_inliers < 3:
+                break
+            step_rotation, step_translation = _best_planar_transform(
+                sources @ rotation.T + translation, targets
+            )
+            rotation = step_rotation @ rotation
+            translation = step_rotation @ translation + step_translation
+
+            residuals = (sources @ rotation.T + translation) - targets
+            rmse = float(np.sqrt(np.mean(np.sum(residuals ** 2, axis=1))))
+            delta_t = float(np.linalg.norm(step_translation))
+            delta_yaw = abs(float(np.arctan2(step_rotation[1, 0], step_rotation[0, 0])))
+            if delta_t < config.convergence_translation and \
+                    delta_yaw < config.convergence_rotation_rad:
+                converged = True
+                break
+
+        return ICPResult(
+            rotation=rotation,
+            translation=translation,
+            iterations=iterations,
+            converged=converged,
+            inlier_rmse=rmse,
+            n_correspondences=n_inliers,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _correspondences(self, sources: np.ndarray,
+                         transformed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Nearest map point of every transformed scan point, gated by distance."""
+        max_distance = self.config.max_correspondence_distance
+        kept_sources: List[np.ndarray] = []
+        kept_targets: List[np.ndarray] = []
+        for source, point in zip(sources, transformed):
+            if self._bonsai_knn is not None:
+                index, distance = self._bonsai_knn.search(point, k=1)[0]
+            else:
+                index, distance = nearest_neighbor(self.tree, point, stats=self.search_stats)
+            if distance <= max_distance:
+                kept_sources.append(source)
+                kept_targets.append(self.tree.points[index].astype(np.float64))
+        if not kept_sources:
+            return np.empty((0, 3)), np.empty((0, 3))
+        return np.vstack(kept_sources), np.vstack(kept_targets)
+
+
+def _yaw_rotation(yaw: float) -> np.ndarray:
+    cos_yaw, sin_yaw = np.cos(yaw), np.sin(yaw)
+    return np.array([
+        [cos_yaw, -sin_yaw, 0.0],
+        [sin_yaw, cos_yaw, 0.0],
+        [0.0, 0.0, 1.0],
+    ])
+
+
+def _best_planar_transform(sources: np.ndarray,
+                           targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Closed-form yaw + translation minimising point-to-point error.
+
+    The standard 2D Umeyama/SVD solution applied to the xy components, with z
+    translation taken from the centroid difference.
+    """
+    source_centroid = sources.mean(axis=0)
+    target_centroid = targets.mean(axis=0)
+    source_centered = sources[:, :2] - source_centroid[:2]
+    target_centered = targets[:, :2] - target_centroid[:2]
+    covariance = source_centered.T @ target_centered
+    u, _, vt = np.linalg.svd(covariance)
+    rotation_2d = vt.T @ u.T
+    if np.linalg.det(rotation_2d) < 0:
+        vt[1, :] *= -1.0
+        rotation_2d = vt.T @ u.T
+    rotation = np.eye(3)
+    rotation[:2, :2] = rotation_2d
+    translation = target_centroid - rotation @ source_centroid
+    return rotation, translation

@@ -1,0 +1,186 @@
+"""Point cloud container used throughout the reproduction.
+
+A :class:`PointCloud` is a thin, validated wrapper over an ``(N, 3)`` float32
+array of XYZ coordinates, matching PCL's ``PointCloud<PointXYZ>`` semantics
+(32-bit coordinates, points appended in sensor order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PointCloud", "BoundingBox"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box of a set of 3D points."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "BoundingBox":
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            raise ValueError("cannot build a bounding box from an empty point set")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Edge lengths of the box along each axis."""
+        return self.maximum - self.minimum
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre of the box."""
+        return 0.5 * (self.minimum + self.maximum)
+
+    @property
+    def volume(self) -> float:
+        """Volume of the box (0 for degenerate boxes)."""
+        return float(np.prod(np.maximum(self.extent, 0.0)))
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies inside the box (inclusive)."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.minimum) and np.all(p <= self.maximum))
+
+    def widest_dimension(self) -> int:
+        """Index of the axis with the largest extent (PCL's split criterion)."""
+        return int(np.argmax(self.extent))
+
+
+class PointCloud:
+    """An ordered collection of 3D points with float32 storage.
+
+    Parameters
+    ----------
+    points:
+        Anything convertible to an ``(N, 3)`` array.  Coordinates are stored
+        as float32, matching the baseline representation in PCL/Autoware.
+    frame_id:
+        Optional identifier of the sensor frame the cloud was captured in.
+    timestamp:
+        Optional capture time in seconds.
+    """
+
+    __slots__ = ("_points", "frame_id", "timestamp")
+
+    def __init__(
+        self,
+        points: Optional[Iterable[Sequence[float]]] = None,
+        frame_id: str = "lidar",
+        timestamp: float = 0.0,
+    ):
+        if points is None:
+            self._points = np.empty((0, 3), dtype=np.float32)
+        else:
+            array = np.asarray(points, dtype=np.float32)
+            if array.ndim == 1 and array.size == 0:
+                array = array.reshape(0, 3)
+            if array.ndim != 2 or array.shape[1] != 3:
+                raise ValueError(
+                    f"points must form an (N, 3) array, got shape {array.shape}"
+                )
+            self._points = np.ascontiguousarray(array, dtype=np.float32)
+        self.frame_id = frame_id
+        self.timestamp = float(timestamp)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._points)
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self._points[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"PointCloud(n_points={len(self)}, frame_id={self.frame_id!r}, "
+            f"timestamp={self.timestamp})"
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The underlying ``(N, 3)`` float32 coordinate array."""
+        return self._points
+
+    @property
+    def xyz(self) -> np.ndarray:
+        """Alias of :attr:`points` for readability in math-heavy code."""
+        return self._points
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the cloud holds no points."""
+        return len(self) == 0
+
+    def bounding_box(self) -> BoundingBox:
+        """Axis-aligned bounding box of all points."""
+        return BoundingBox.from_points(self._points)
+
+    def byte_size(self, bytes_per_point: int = 16) -> int:
+        """Memory footprint of the stored points.
+
+        PCL stores ``PointXYZ`` as four 32-bit floats (x, y, z, padding), so
+        the default is 16 bytes per point.
+        """
+        return len(self) * bytes_per_point
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def translated(self, offset: Sequence[float]) -> "PointCloud":
+        """A copy of the cloud with ``offset`` added to every point."""
+        offset = np.asarray(offset, dtype=np.float32)
+        return PointCloud(self._points + offset, self.frame_id, self.timestamp)
+
+    def transformed(self, rotation: np.ndarray, translation: Sequence[float]) -> "PointCloud":
+        """A copy of the cloud under a rigid transform ``R @ p + t``."""
+        rotation = np.asarray(rotation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError("rotation must be a 3x3 matrix")
+        translation = np.asarray(translation, dtype=np.float64)
+        pts = self._points.astype(np.float64) @ rotation.T + translation
+        return PointCloud(pts.astype(np.float32), self.frame_id, self.timestamp)
+
+    def subsampled(self, indices: Sequence[int]) -> "PointCloud":
+        """A copy holding only the points at ``indices`` (order preserved)."""
+        return PointCloud(self._points[np.asarray(indices, dtype=np.intp)],
+                          self.frame_id, self.timestamp)
+
+    def concatenated(self, other: "PointCloud") -> "PointCloud":
+        """A new cloud holding this cloud's points followed by ``other``'s."""
+        return PointCloud(
+            np.vstack([self._points, other.points]), self.frame_id, self.timestamp
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def max_range(self) -> float:
+        """Largest euclidean distance of any point to the origin."""
+        if self.is_empty:
+            return 0.0
+        return float(np.max(np.linalg.norm(self._points.astype(np.float64), axis=1)))
+
+    def distances_to(self, query: Sequence[float]) -> np.ndarray:
+        """Euclidean distance of every point to ``query``."""
+        query = np.asarray(query, dtype=np.float64)
+        return np.linalg.norm(self._points.astype(np.float64) - query, axis=1)
+
+    def brute_force_radius_search(self, query: Sequence[float], radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``query`` (reference impl)."""
+        d = self.distances_to(query)
+        return np.nonzero(d <= radius)[0]

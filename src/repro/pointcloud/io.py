@@ -1,0 +1,105 @@
+"""Point cloud serialisation.
+
+Two formats are supported:
+
+* NPZ — compact NumPy archive used for caching generated frames between
+  benchmark runs.
+* ASCII PCD — the Point Cloud Data format used by PCL/Autoware, so clouds
+  produced here can be inspected with standard tooling (and PCD files from
+  real sensors can be loaded if available).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from .cloud import PointCloud
+
+__all__ = ["save_npz", "load_npz", "save_pcd", "load_pcd"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_npz(path: PathLike, cloud: PointCloud) -> None:
+    """Write ``cloud`` to an ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        points=cloud.points,
+        frame_id=np.array(cloud.frame_id),
+        timestamp=np.array(cloud.timestamp),
+    )
+
+
+def load_npz(path: PathLike) -> PointCloud:
+    """Load a cloud previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        points = data["points"]
+        frame_id = str(data["frame_id"])
+        timestamp = float(data["timestamp"])
+    return PointCloud(points, frame_id=frame_id, timestamp=timestamp)
+
+
+def save_pcd(path: PathLike, cloud: PointCloud) -> None:
+    """Write ``cloud`` as an ASCII PCD v0.7 file (fields x y z)."""
+    n = len(cloud)
+    header = [
+        "# .PCD v0.7 - Point Cloud Data file format",
+        "VERSION 0.7",
+        "FIELDS x y z",
+        "SIZE 4 4 4",
+        "TYPE F F F",
+        "COUNT 1 1 1",
+        f"WIDTH {n}",
+        "HEIGHT 1",
+        "VIEWPOINT 0 0 0 1 0 0 0",
+        f"POINTS {n}",
+        "DATA ascii",
+    ]
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(header) + "\n")
+        for x, y, z in cloud.points:
+            handle.write(f"{float(x):.6f} {float(y):.6f} {float(z):.6f}\n")
+
+
+def load_pcd(path: PathLike) -> PointCloud:
+    """Load an ASCII PCD file containing at least x, y, z fields."""
+    fields: List[str] = []
+    n_points = 0
+    data_started = False
+    rows: List[List[float]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if data_started:
+                values = line.split()
+                rows.append([float(v) for v in values])
+                continue
+            key, _, rest = line.partition(" ")
+            key = key.upper()
+            if key == "FIELDS":
+                fields = rest.split()
+            elif key == "POINTS":
+                n_points = int(rest)
+            elif key == "DATA":
+                if rest.strip().lower() != "ascii":
+                    raise ValueError("only ASCII PCD files are supported")
+                data_started = True
+    if not fields:
+        raise ValueError("PCD file missing FIELDS header")
+    try:
+        ix, iy, iz = fields.index("x"), fields.index("y"), fields.index("z")
+    except ValueError as exc:
+        raise ValueError("PCD file must contain x, y and z fields") from exc
+    if len(rows) != n_points:
+        raise ValueError(
+            f"PCD header announces {n_points} points but file contains {len(rows)}"
+        )
+    array = np.asarray(rows, dtype=np.float64)
+    if array.size == 0:
+        return PointCloud()
+    return PointCloud(array[:, [ix, iy, iz]].astype(np.float32))

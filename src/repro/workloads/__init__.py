@@ -1,0 +1,35 @@
+"""Autoware-like workload pipelines, profiling and sub-sampling."""
+
+from .autoware import (
+    EuclideanClusterPipeline,
+    FrameMeasurement,
+    KernelReport,
+    PhaseBudget,
+    PipelineConfig,
+)
+from .localization import (
+    LocalizationConfig,
+    NDTLocalizationPipeline,
+    NDTPhaseBudget,
+    RegistrationMeasurement,
+)
+from .profiles import ExecutionShare, profile_euclidean_cluster, profile_ndt_matching
+from .subsampling import SubsamplingErrors, evaluate_subsampling, measure_sequence
+
+__all__ = [
+    "EuclideanClusterPipeline",
+    "FrameMeasurement",
+    "KernelReport",
+    "PhaseBudget",
+    "PipelineConfig",
+    "LocalizationConfig",
+    "NDTLocalizationPipeline",
+    "NDTPhaseBudget",
+    "RegistrationMeasurement",
+    "ExecutionShare",
+    "profile_euclidean_cluster",
+    "profile_ndt_matching",
+    "SubsamplingErrors",
+    "evaluate_subsampling",
+    "measure_sequence",
+]

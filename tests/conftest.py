@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are session scoped where the underlying objects are immutable and
+expensive to build (synthetic LiDAR frames, k-d trees), so the several hundred
+tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kdtree import KDTreeConfig, build_kdtree
+from repro.pointcloud import (
+    LidarConfig,
+    PointCloud,
+    SceneConfig,
+    SequenceConfig,
+    DrivingSequence,
+    preprocess_for_clustering,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic random generator shared across tests."""
+    return np.random.default_rng(20230)
+
+
+@pytest.fixture(scope="session")
+def small_sequence():
+    """A small synthetic driving sequence (coarse LiDAR, few frames)."""
+    config = SequenceConfig(
+        n_frames=4,
+        scene=SceneConfig(seed=11),
+        lidar=LidarConfig(n_beams=24, n_azimuth_steps=240, seed=99),
+    )
+    return DrivingSequence(config)
+
+
+@pytest.fixture(scope="session")
+def lidar_frame(small_sequence):
+    """One raw synthetic LiDAR frame."""
+    return small_sequence.frame(0)
+
+
+@pytest.fixture(scope="session")
+def filtered_frame(lidar_frame):
+    """The same frame after the Autoware-style pre-processing chain."""
+    return preprocess_for_clustering(lidar_frame)
+
+
+@pytest.fixture(scope="session")
+def frame_tree(filtered_frame):
+    """A k-d tree built over the pre-processed frame (PCL defaults)."""
+    return build_kdtree(filtered_frame)
+
+
+@pytest.fixture(scope="session")
+def random_cloud(rng):
+    """A random but spatially clustered point cloud (no LiDAR structure)."""
+    centers = rng.uniform(-40.0, 40.0, size=(30, 3))
+    centers[:, 2] = rng.uniform(-1.5, 2.0, size=30)
+    points = []
+    for center in centers:
+        points.append(center + rng.normal(0.0, 0.4, size=(40, 3)))
+    return PointCloud(np.vstack(points).astype(np.float32))
+
+
+@pytest.fixture(scope="session")
+def random_tree(random_cloud):
+    """A k-d tree over the random clustered cloud."""
+    return build_kdtree(random_cloud, KDTreeConfig(max_leaf_size=15))

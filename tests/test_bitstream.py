@@ -1,0 +1,114 @@
+"""Tests of the MSB-first bit writer/reader."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.to_bytes() == b""
+
+    def test_single_bit(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.bit_length == 1
+        assert writer.to_bytes() == b"\x80"
+
+    def test_byte_value(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        assert writer.to_bytes() == b"\xab"
+
+    def test_cross_byte_value(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b11111, 5)
+        writer.write(0b1, 1)
+        assert writer.to_bytes()[0] == 0b10111111
+        assert writer.to_bytes()[1] == 0b10000000
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(-1, 4)
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_padding_to_slice(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        data = writer.to_bytes(pad_to=16)
+        assert len(data) == 16
+
+    def test_padding_exact_multiple_unchanged(self):
+        writer = BitWriter()
+        for _ in range(16):
+            writer.write(0xFF, 8)
+        assert len(writer.to_bytes(pad_to=16)) == 16
+
+    def test_invalid_pad_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().to_bytes(pad_to=0)
+
+
+class TestBitReader:
+    def test_read_back_simple(self):
+        reader = BitReader(b"\xab")
+        assert reader.read(8) == 0xAB
+
+    def test_read_across_bytes(self):
+        reader = BitReader(b"\xab\xcd")
+        assert reader.read(4) == 0xA
+        assert reader.read(8) == 0xBC
+        assert reader.read(4) == 0xD
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+    def test_read_past_end_rejected(self):
+        reader = BitReader(b"\x00")
+        with pytest.raises(ValueError):
+            reader.read(9)
+
+    def test_zero_width_read(self):
+        assert BitReader(b"").read(0) == 0
+
+
+class TestRoundTrip:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=24),
+                              st.integers(min_value=0)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_field_sequences_roundtrip(self, fields):
+        fields = [(width, value % (1 << width)) for width, value in fields]
+        writer = BitWriter()
+        for width, value in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.to_bytes())
+        for width, value in fields:
+            assert reader.read(width) == value
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_roundtrip(self, data):
+        writer = BitWriter()
+        for byte in data:
+            writer.write(byte, 8)
+        assert writer.to_bytes() == data

@@ -1,0 +1,95 @@
+"""Tests of the compressed k-nearest-neighbour extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BonsaiNearestNeighbors
+from repro.kdtree import build_kdtree, nearest_neighbors
+
+
+class TestEquivalence:
+    def test_matches_baseline_on_frame(self, filtered_frame):
+        tree = build_kdtree(filtered_frame)
+        knn = BonsaiNearestNeighbors(tree)
+        for i in range(0, len(filtered_frame), 151):
+            query = filtered_frame[i]
+            expected = nearest_neighbors(tree, query, k=5)
+            got = knn.search(query, k=5)
+            np.testing.assert_allclose([d for _, d in got], [d for _, d in expected],
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_matches_baseline_various_k(self, random_cloud):
+        tree = build_kdtree(random_cloud)
+        knn = BonsaiNearestNeighbors(tree)
+        for k in (1, 3, 10, 40):
+            for i in range(0, len(random_cloud), 211):
+                query = random_cloud[i]
+                expected = nearest_neighbors(tree, query, k=k)
+                got = knn.search(query, k=k)
+                np.testing.assert_allclose([d for _, d in got], [d for _, d in expected],
+                                           rtol=1e-12, atol=1e-12)
+
+    def test_query_outside_cloud(self, random_cloud):
+        tree = build_kdtree(random_cloud)
+        knn = BonsaiNearestNeighbors(tree)
+        query = [200.0, 200.0, 50.0]
+        expected = nearest_neighbors(tree, query, k=3)
+        got = knn.search(query, k=3)
+        np.testing.assert_allclose([d for _, d in got], [d for _, d in expected])
+
+    def test_invalid_arguments(self, random_cloud):
+        knn = BonsaiNearestNeighbors(build_kdtree(random_cloud))
+        with pytest.raises(ValueError):
+            knn.search([0, 0, 0], k=0)
+        with pytest.raises(ValueError):
+            knn.search([0, 0], k=1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_points=st.integers(min_value=3, max_value=150),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_property(self, seed, n_points, k):
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(-40, 40, size=(max(1, n_points // 15), 3))
+        points = np.vstack([
+            centers[i % centers.shape[0]] + rng.normal(0, 0.5, size=3)
+            for i in range(n_points)
+        ]).astype(np.float32)
+        tree = build_kdtree(points)
+        knn = BonsaiNearestNeighbors(tree)
+        query = rng.uniform(-45, 45, size=3)
+        expected = nearest_neighbors(tree, query, k=k)
+        got = knn.search(query, k=k)
+        np.testing.assert_allclose([d for _, d in got], [d for _, d in expected],
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestFetchAvoidance:
+    def test_lower_bound_skips_most_exact_fetches(self, filtered_frame):
+        """The point of the extension: most screened points never need 32-bit."""
+        tree = build_kdtree(filtered_frame)
+        knn = BonsaiNearestNeighbors(tree)
+        for i in range(0, len(filtered_frame), 29):
+            knn.search(filtered_frame[i], k=5)
+        assert knn.stats.points_screened > 0
+        assert knn.stats.fetch_rate < 0.7
+        assert knn.stats.exact_bytes_loaded < knn.stats.points_screened * 16
+
+    def test_stats_accumulate(self, random_cloud):
+        tree = build_kdtree(random_cloud)
+        knn = BonsaiNearestNeighbors(tree)
+        knn.search(random_cloud[0], k=3)
+        knn.search(random_cloud[1], k=3)
+        assert knn.stats.queries == 2
+        assert knn.stats.leaves_visited >= 2
+        assert knn.stats.compressed_bytes_loaded > 0
+
+    def test_empty_stats_fetch_rate(self, random_cloud):
+        knn = BonsaiNearestNeighbors(build_kdtree(random_cloud))
+        assert knn.stats.fetch_rate == 0.0

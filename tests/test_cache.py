@@ -1,0 +1,150 @@
+"""Tests of the set-associative cache and memory-hierarchy simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwmodel import (
+    CacheConfig,
+    HierarchyRecorder,
+    MemoryHierarchy,
+    SetAssociativeCache,
+)
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, associativity=2, line_size=64)
+        assert config.n_sets == 256
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, associativity=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_size=64)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, associativity=2))
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, associativity=2))
+        cache.access(0x100)
+        assert cache.access(0x13F) is True  # same 64-byte line
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2-way, force 3 lines into the same set.
+        config = CacheConfig(size_bytes=2 * 64 * 4, associativity=2, line_size=64)
+        cache = SetAssociativeCache(config)
+        n_sets = config.n_sets
+        a, b, c = 0, n_sets * 64, 2 * n_sets * 64  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)          # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+        assert cache.stats.evictions >= 1
+
+    def test_lru_updated_on_hit(self):
+        config = CacheConfig(size_bytes=2 * 64 * 4, associativity=2, line_size=64)
+        cache = SetAssociativeCache(config)
+        n_sets = config.n_sets
+        a, b, c = 0, n_sets * 64, 2 * n_sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # a becomes MRU
+        cache.access(c)          # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_miss_ratio(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, associativity=2))
+        assert cache.stats.miss_ratio == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_ratio == 0.5
+
+    def test_reset(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=1024, associativity=2))
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestMemoryHierarchy:
+    def test_default_geometry_matches_table_iv(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.l1_config.size_bytes == 32 * 1024
+        assert hierarchy.l1_config.associativity == 2
+        assert hierarchy.l2_config.size_bytes == 1024 * 1024
+        assert hierarchy.l2_config.associativity == 16
+
+    def test_inclusion_of_counts(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0x1000, 16)
+        hierarchy.access(0x1000, 16)
+        stats = hierarchy.stats
+        assert stats.l1_accesses == 2
+        assert stats.l1_misses == 1
+        assert stats.l2_accesses == 1
+        assert stats.l2_misses == 1
+        assert stats.memory_accesses == 1
+
+    def test_access_spanning_lines(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(60, 16)  # crosses a 64-byte boundary
+        assert hierarchy.stats.l1_accesses == 2
+
+    def test_l2_catches_l1_evictions(self):
+        # Working set bigger than L1 but smaller than L2: second pass should
+        # hit in L2, not memory.
+        hierarchy = MemoryHierarchy()
+        footprint = 128 * 1024  # 4x L1, fits L2
+        for address in range(0, footprint, 64):
+            hierarchy.access(address, 4)
+        first_pass_memory = hierarchy.stats.memory_accesses
+        for address in range(0, footprint, 64):
+            hierarchy.access(address, 4)
+        assert hierarchy.stats.memory_accesses == first_pass_memory
+
+    def test_loads_and_stores_counted(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0, 8, is_write=False)
+        hierarchy.access(0, 8, is_write=True)
+        assert hierarchy.stats.loads == 1
+        assert hierarchy.stats.stores == 1
+        assert hierarchy.stats.bytes_loaded == 8
+        assert hierarchy.stats.bytes_stored == 8
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy().access(0, 0)
+
+    def test_miss_ratio_property(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.stats.l1_miss_ratio == 0.0
+        hierarchy.access(0, 4)
+        assert hierarchy.stats.l1_miss_ratio == 1.0
+
+    def test_reset(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0, 4)
+        hierarchy.reset()
+        assert hierarchy.stats.l1_accesses == 0
+
+
+class TestHierarchyRecorder:
+    def test_recorder_protocol(self):
+        recorder = HierarchyRecorder()
+        recorder.record_load(0x100, 16)
+        recorder.record_store(0x200, 4)
+        assert recorder.stats.loads == 1
+        assert recorder.stats.stores == 1
+        assert recorder.stats.l1_accesses == 2

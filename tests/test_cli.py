@@ -1,0 +1,74 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.pointcloud import load_npz, load_pcd
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.command == "generate"
+        assert args.frames == 3
+        assert args.format == "pcd"
+
+    def test_cluster_flags(self):
+        args = build_parser().parse_args(["cluster", "--bonsai", "--tolerance", "0.8"])
+        assert args.bonsai is True
+        assert args.tolerance == 0.8
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_generate_pcd(self, tmp_path, capsys):
+        code = main(["generate", "--frames", "1", "--output-dir", str(tmp_path),
+                     "--format", "pcd"])
+        assert code == 0
+        files = sorted(tmp_path.glob("*.pcd"))
+        assert len(files) == 1
+        assert len(load_pcd(files[0])) > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_npz(self, tmp_path):
+        code = main(["generate", "--frames", "2", "--output-dir", str(tmp_path),
+                     "--format", "npz", "--seed", "3"])
+        assert code == 0
+        files = sorted(tmp_path.glob("*.npz"))
+        assert len(files) == 2
+        assert len(load_npz(files[0])) > 0
+
+    def test_compress_stats(self, capsys):
+        code = main(["compress-stats", "--frame", "0", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compressed footprint" in out
+        assert "recompute rate" in out
+
+    def test_cluster_baseline(self, capsys):
+        code = main(["cluster", "--frame", "0", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline search" in out
+        assert "clusters" in out
+
+    def test_cluster_bonsai(self, capsys):
+        code = main(["cluster", "--frame", "0", "--seed", "5", "--bonsai"])
+        assert code == 0
+        assert "Bonsai-extensions search" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--frames", "2", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 9a" in out
+        assert "latency" in out

@@ -1,0 +1,123 @@
+"""Tests of the PointCloud container and bounding boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import BoundingBox, PointCloud
+
+
+class TestConstruction:
+    def test_empty_cloud(self):
+        cloud = PointCloud()
+        assert len(cloud) == 0
+        assert cloud.is_empty
+        assert cloud.points.shape == (0, 3)
+
+    def test_from_list(self):
+        cloud = PointCloud([[1, 2, 3], [4, 5, 6]])
+        assert len(cloud) == 2
+        assert cloud.points.dtype == np.float32
+
+    def test_from_array_is_float32(self):
+        cloud = PointCloud(np.zeros((5, 3), dtype=np.float64))
+        assert cloud.points.dtype == np.float32
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((4, 2)))
+
+    def test_metadata(self):
+        cloud = PointCloud([[0, 0, 0]], frame_id="velodyne", timestamp=1.5)
+        assert cloud.frame_id == "velodyne"
+        assert cloud.timestamp == 1.5
+
+    def test_repr_contains_size(self):
+        assert "n_points=3" in repr(PointCloud(np.zeros((3, 3))))
+
+
+class TestAccessors:
+    def test_iteration_and_indexing(self):
+        cloud = PointCloud([[1, 2, 3], [4, 5, 6]])
+        rows = list(cloud)
+        assert len(rows) == 2
+        np.testing.assert_array_equal(cloud[1], [4, 5, 6])
+
+    def test_byte_size_uses_pcl_stride(self):
+        cloud = PointCloud(np.zeros((10, 3)))
+        assert cloud.byte_size() == 160
+        assert cloud.byte_size(bytes_per_point=12) == 120
+
+    def test_max_range(self):
+        cloud = PointCloud([[3.0, 4.0, 0.0], [0.1, 0.1, 0.1]])
+        assert cloud.max_range() == pytest.approx(5.0)
+
+    def test_max_range_empty(self):
+        assert PointCloud().max_range() == 0.0
+
+    def test_distances_to(self):
+        cloud = PointCloud([[1, 0, 0], [0, 2, 0]])
+        np.testing.assert_allclose(cloud.distances_to([0, 0, 0]), [1.0, 2.0])
+
+    def test_brute_force_radius_search(self):
+        cloud = PointCloud([[0, 0, 0], [1, 0, 0], [5, 0, 0]])
+        hits = cloud.brute_force_radius_search([0, 0, 0], 1.5)
+        assert sorted(hits.tolist()) == [0, 1]
+
+
+class TestTransforms:
+    def test_translated(self):
+        cloud = PointCloud([[1, 1, 1]]).translated([1, 2, 3])
+        np.testing.assert_allclose(cloud[0], [2, 3, 4])
+
+    def test_transformed_identity(self):
+        cloud = PointCloud([[1, 2, 3]])
+        out = cloud.transformed(np.eye(3), [0, 0, 0])
+        np.testing.assert_allclose(out[0], [1, 2, 3])
+
+    def test_transformed_rotation(self):
+        rotation = np.array([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+        out = PointCloud([[1, 0, 0]]).transformed(rotation, [0, 0, 0])
+        np.testing.assert_allclose(out[0], [0, 1, 0], atol=1e-6)
+
+    def test_transformed_bad_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            PointCloud([[1, 0, 0]]).transformed(np.eye(2), [0, 0, 0])
+
+    def test_subsampled(self):
+        cloud = PointCloud([[0, 0, 0], [1, 1, 1], [2, 2, 2]])
+        sub = cloud.subsampled([2, 0])
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub[0], [2, 2, 2])
+
+    def test_concatenated(self):
+        a = PointCloud([[0, 0, 0]])
+        b = PointCloud([[1, 1, 1]])
+        assert len(a.concatenated(b)) == 2
+
+
+class TestBoundingBox:
+    def test_from_points(self):
+        box = BoundingBox.from_points(np.array([[0, 0, 0], [2, 4, 6]]))
+        np.testing.assert_allclose(box.extent, [2, 4, 6])
+        np.testing.assert_allclose(box.center, [1, 2, 3])
+        assert box.volume == pytest.approx(48.0)
+
+    def test_contains(self):
+        box = BoundingBox.from_points(np.array([[0, 0, 0], [1, 1, 1]]))
+        assert box.contains([0.5, 0.5, 0.5])
+        assert not box.contains([2.0, 0.5, 0.5])
+
+    def test_widest_dimension(self):
+        box = BoundingBox.from_points(np.array([[0, 0, 0], [1, 5, 2]]))
+        assert box.widest_dimension() == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.empty((0, 3)))
+
+    def test_cloud_bounding_box(self):
+        cloud = PointCloud([[0, 0, 0], [1, 2, 3]])
+        box = cloud.bounding_box()
+        np.testing.assert_allclose(box.maximum, [1, 2, 3])

@@ -1,0 +1,80 @@
+"""Tests of cluster labeling and filtering (the node's output stage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import (
+    ClusterConfig,
+    EuclideanClusterExtractor,
+    filter_by_extent,
+    label_clusters,
+    match_clusters_to_labels,
+)
+from repro.perception.euclidean_cluster import Cluster
+from repro.pointcloud import PointCloud
+from repro.pointcloud.cloud import BoundingBox
+
+
+def _cluster_from_points(points):
+    points = np.asarray(points, dtype=np.float64)
+    return Cluster(
+        indices=list(range(len(points))),
+        centroid=points.mean(axis=0),
+        bbox=BoundingBox.from_points(points),
+    )
+
+
+class TestLabeling:
+    def test_vehicle_sized_box(self):
+        points = np.array([[0, 0, -1.5], [4.4, 1.8, 0.2]])
+        cluster = _cluster_from_points(points)
+        detections = label_clusters(PointCloud(points.astype(np.float32)), [cluster])
+        assert detections[0].label == "vehicle"
+
+    def test_pedestrian_sized_box(self):
+        points = np.array([[0, 0, -1.6], [0.4, 0.4, 0.2]])
+        cluster = _cluster_from_points(points)
+        detections = label_clusters(PointCloud(points.astype(np.float32)), [cluster])
+        assert detections[0].label == "pedestrian"
+
+    def test_pole_sized_box(self):
+        points = np.array([[0, 0, -1.8], [0.2, 0.2, 3.5]])
+        cluster = _cluster_from_points(points)
+        detections = label_clusters(PointCloud(points.astype(np.float32)), [cluster])
+        assert detections[0].label == "pole"
+
+    def test_detection_metadata(self):
+        points = np.array([[0, 0, 0], [1, 1, 1]])
+        detections = label_clusters(PointCloud(points.astype(np.float32)),
+                                    [_cluster_from_points(points)])
+        detection = detections[0]
+        assert detection.n_points == 2
+        assert detection.cluster_id == 0
+        assert detection.footprint_area == pytest.approx(1.0)
+
+    def test_labels_on_lidar_frame(self, filtered_frame):
+        result = EuclideanClusterExtractor(
+            ClusterConfig(tolerance=0.6, min_cluster_size=5)).extract(filtered_frame)
+        detections = label_clusters(filtered_frame, result.clusters)
+        assert len(detections) == result.n_clusters
+        histogram = match_clusters_to_labels(detections)
+        assert sum(histogram.values()) == len(detections)
+        # The synthetic urban scene contains vehicles that must be detected.
+        assert histogram.get("vehicle", 0) >= 1
+
+
+class TestFiltering:
+    def test_filter_by_extent(self):
+        small = _cluster_from_points(np.array([[0, 0, 0], [0.05, 0.05, 0.05]]))
+        big = _cluster_from_points(np.array([[0, 0, 0], [30.0, 3.0, 3.0]]))
+        ok = _cluster_from_points(np.array([[0, 0, 0], [2.0, 1.0, 1.5]]))
+        cloud = PointCloud(np.zeros((2, 3), dtype=np.float32))
+        detections = label_clusters(cloud, [small, big, ok])
+        kept = filter_by_extent(detections, min_extent=0.2, max_extent=15.0)
+        assert len(kept) == 1
+        assert kept[0].cluster_id == 2
+
+    def test_histogram_empty(self):
+        assert match_clusters_to_labels([]) == {}

@@ -1,0 +1,107 @@
+"""Tests of the cmprsd_strct_array model and whole-tree compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compressed_leaf import CompressedStructArray, compress_tree
+from repro.core.leaf_compression import ZIPPTS_SLICE_BYTES, compress_leaf, decompress_leaf
+from repro.kdtree import KDTreeConfig, build_kdtree
+
+
+class TestCompressedStructArray:
+    def test_append_returns_consistent_ref(self, rng):
+        array = CompressedStructArray()
+        points = rng.normal(10.0, 0.3, size=(8, 3)).astype(np.float32)
+        compressed = compress_leaf(points)
+        ref = array.append(0, compressed)
+        assert ref.offset == 0
+        assert ref.length == compressed.size_bytes
+        assert ref.n_points == 8
+        assert ref.end == compressed.size_bytes
+
+    def test_consecutive_appends_are_contiguous(self, rng):
+        array = CompressedStructArray()
+        offsets = []
+        for leaf_id in range(5):
+            points = rng.normal(leaf_id * 5.0 + 1.0, 0.2, size=(6, 3)).astype(np.float32)
+            ref = array.append(leaf_id, compress_leaf(points))
+            offsets.append((ref.offset, ref.length))
+        for (prev_off, prev_len), (off, _) in zip(offsets, offsets[1:]):
+            assert off == prev_off + prev_len
+        assert array.total_bytes == offsets[-1][0] + offsets[-1][1]
+
+    def test_offsets_slice_aligned(self, rng):
+        array = CompressedStructArray()
+        for leaf_id in range(4):
+            points = rng.normal(3.0, 0.2, size=(leaf_id + 1, 3)).astype(np.float32)
+            ref = array.append(leaf_id, compress_leaf(points))
+            assert ref.offset % ZIPPTS_SLICE_BYTES == 0
+
+    def test_read_returns_stored_bytes(self, rng):
+        array = CompressedStructArray()
+        compressed = compress_leaf(rng.normal(7.0, 0.1, size=(5, 3)).astype(np.float32))
+        ref = array.append(3, compressed)
+        assert array.read(ref) == compressed.data
+
+    def test_duplicate_leaf_rejected(self, rng):
+        array = CompressedStructArray()
+        compressed = compress_leaf(rng.normal(7.0, 0.1, size=(5, 3)).astype(np.float32))
+        array.append(1, compressed)
+        with pytest.raises(ValueError):
+            array.append(1, compressed)
+
+    def test_len_counts_leaves(self, rng):
+        array = CompressedStructArray()
+        for leaf_id in range(3):
+            array.append(leaf_id, compress_leaf(
+                rng.normal(2.0, 0.1, size=(4, 3)).astype(np.float32)))
+        assert len(array) == 3
+
+
+class TestCompressTree:
+    def test_every_leaf_gets_a_reference(self, random_tree):
+        report = compress_tree(random_tree)
+        assert all(leaf.compressed_ref is not None for leaf in random_tree.leaves)
+        assert report.n_leaves == random_tree.n_leaves
+        assert report.n_points == random_tree.n_points
+
+    def test_array_attached_to_tree(self, random_tree):
+        compress_tree(random_tree)
+        array = getattr(random_tree, "compressed_array", None)
+        assert array is not None
+        assert len(array) == random_tree.n_leaves
+
+    def test_decompression_matches_fp16_points(self, random_tree):
+        compress_tree(random_tree)
+        array = random_tree.compressed_array
+        for leaf in random_tree.leaves[:20]:
+            decoded = decompress_leaf(array.get(leaf.leaf_id))
+            expected = random_tree.leaf_points(leaf).astype(np.float16).astype(np.float64)
+            np.testing.assert_array_equal(decoded, expected)
+
+    def test_report_totals_consistent(self, random_tree):
+        report = compress_tree(build_kdtree(random_tree.points))
+        assert report.baseline_bytes == report.n_points * 16
+        assert 0.0 < report.compression_ratio < 1.0
+        assert report.savings_fraction == pytest.approx(1.0 - report.compression_ratio)
+
+    def test_realistic_frame_compression_ratio(self, frame_tree):
+        """Leaf compression should land near the paper's ~37% of baseline bytes."""
+        tree = build_kdtree(frame_tree.points)
+        report = compress_tree(tree)
+        assert 0.2 < report.compression_ratio < 0.55
+
+    def test_sharing_counts_bounded_by_leaves(self, frame_tree):
+        tree = build_kdtree(frame_tree.points)
+        report = compress_tree(tree)
+        for coord in ("x", "y", "z"):
+            assert 0 <= report.coords_shared[coord] <= report.n_leaves
+        assert report.leaves_fully_shared <= min(report.coords_shared.values())
+
+    def test_small_leaf_trees_compress(self, random_cloud):
+        tree = build_kdtree(random_cloud, KDTreeConfig(max_leaf_size=4))
+        report = compress_tree(tree)
+        assert report.n_leaves == tree.n_leaves
+        assert report.compressed_bytes > 0

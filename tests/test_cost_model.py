@@ -1,0 +1,83 @@
+"""Tests of the instruction-count cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bonsai_search import BonsaiStats
+from repro.isa import InstructionBudget, estimate_baseline, estimate_bonsai
+from repro.kdtree import SearchStats
+
+
+def _typical_stats():
+    """Counters shaped like one frame of euclidean clustering."""
+    search = SearchStats(
+        queries=2000,
+        leaves_visited=5000,
+        interior_visited=16000,
+        points_examined=70000,
+        points_in_radius=30000,
+    )
+    bonsai = BonsaiStats(
+        leaf_visits=5000,
+        slices_loaded=21000,
+        compressed_bytes_loaded=21000 * 16,
+        points_classified=70000,
+        conclusive_in=29900,
+        conclusive_out=39960,
+        inconclusive=140,
+        recompute_bytes_loaded=140 * 16,
+    )
+    return search, bonsai
+
+
+class TestEstimates:
+    def test_baseline_counts_positive_and_consistent(self):
+        search, _ = _typical_stats()
+        estimate = estimate_baseline(search)
+        assert estimate.instructions > 0
+        assert estimate.loads > search.points_examined  # at least index+point loads
+        assert estimate.stores > 0
+
+    def test_bonsai_reduces_loads_and_instructions(self):
+        search, bonsai = _typical_stats()
+        base = estimate_baseline(search)
+        new = estimate_bonsai(search, bonsai)
+        assert new.loads < base.loads
+        assert new.instructions < base.instructions
+
+    def test_relative_change_signs_match_paper(self):
+        """Figure 9a directions: fewer instructions, loads and stores."""
+        search, bonsai = _typical_stats()
+        rel = estimate_bonsai(search, bonsai).relative_to(estimate_baseline(search))
+        assert rel["instructions"] < 0
+        assert rel["loads"] < 0
+        assert rel["stores"] < 0
+
+    def test_loads_reduction_magnitude_reasonable(self):
+        """The paper reports a 23% committed-load reduction for the extract
+        kernel; the search-only reduction must therefore be at least that."""
+        search, bonsai = _typical_stats()
+        rel = estimate_bonsai(search, bonsai).relative_to(estimate_baseline(search))
+        assert -0.9 < rel["loads"] < -0.2
+
+    def test_recompute_penalty_increases_with_inconclusive(self):
+        search, bonsai = _typical_stats()
+        cheap = estimate_bonsai(search, bonsai)
+        expensive_stats = BonsaiStats(**{**bonsai.__dict__, "inconclusive": 20000})
+        expensive = estimate_bonsai(search, expensive_stats)
+        assert expensive.instructions > cheap.instructions
+        assert expensive.loads > cheap.loads
+
+    def test_custom_budget_scales_linearly(self):
+        search, _ = _typical_stats()
+        default = estimate_baseline(search, InstructionBudget())
+        doubled = estimate_baseline(
+            search, InstructionBudget(baseline_per_point=30)
+        )
+        assert doubled.instructions > default.instructions
+
+    def test_relative_to_zero_baseline(self):
+        empty = estimate_baseline(SearchStats())
+        rel = estimate_baseline(SearchStats()).relative_to(empty)
+        assert rel == {"instructions": 0.0, "loads": 0.0, "stores": 0.0}

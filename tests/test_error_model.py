@@ -1,0 +1,170 @@
+"""Tests of the worst-case error model (Eqs. 5-12) and shell classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error_model import (
+    Classification,
+    PartErrorTable,
+    ShellClassifier,
+    approximate_squared_distance,
+    classify_exact,
+    classify_with_shell,
+    max_delta,
+    max_eps_sd,
+    squared_difference_with_error,
+)
+from repro.core.floatfmt import BFLOAT16, FLOAT16
+
+coords = st.floats(min_value=-120.0, max_value=120.0, allow_nan=False, allow_infinity=False)
+
+
+class TestMaxDelta:
+    def test_eq6_for_unit_binade(self):
+        # Values in [1, 2): exponent 15 (biased), max error = 2^0 * 2^-11.
+        assert max_delta(1.5) == pytest.approx(2.0 ** -11)
+
+    def test_eq6_scales_with_exponent(self):
+        assert max_delta(100.0) == pytest.approx(2.0 ** 6 * 2.0 ** -11)
+
+    def test_other_format(self):
+        # bfloat16 has 7 mantissa bits -> half ULP = 2^(e) * 2^-8.
+        assert max_delta(1.5, BFLOAT16) == pytest.approx(2.0 ** -8)
+
+    @given(value=coords)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_actual_conversion_error(self, value):
+        reduced = FLOAT16.round_trip(value)
+        assert abs(reduced - value) <= max_delta(reduced) + 1e-30
+
+
+class TestEpsSd:
+    def test_zero_when_operands_equal_and_exact(self):
+        # a == b' and b' exactly representable: only the delta^2 term remains.
+        eps = max_eps_sd(1.0, 1.0)
+        assert eps == pytest.approx(max_delta(1.0) ** 2)
+
+    def test_grows_with_distance(self):
+        assert max_eps_sd(10.0, 1.0) > max_eps_sd(2.0, 1.0)
+
+    @given(a=coords, b=coords)
+    @settings(max_examples=300, deadline=None)
+    def test_eq9_bounds_true_squared_difference_error(self, a, b):
+        """The fundamental guarantee: |(a-b')^2 - (a-b)^2| <= max(eps_sd)."""
+        b_reduced = FLOAT16.round_trip(b)
+        true_sq = (a - b) ** 2
+        approx_sq, eps = squared_difference_with_error(a, b_reduced)
+        assert abs(approx_sq - true_sq) <= eps + 1e-12 * max(1.0, true_sq)
+
+
+class TestApproximateDistance:
+    @given(q=st.tuples(coords, coords, coords), p=st.tuples(coords, coords, coords))
+    @settings(max_examples=300, deadline=None)
+    def test_total_error_bounds_distance_error(self, q, p):
+        p_reduced = [FLOAT16.round_trip(v) for v in p]
+        d2_true = sum((a - b) ** 2 for a, b in zip(q, p))
+        d2_approx, total_eps = approximate_squared_distance(q, p_reduced)
+        assert abs(d2_approx - d2_true) <= total_eps + 1e-9 * max(1.0, d2_true)
+
+    def test_exact_point_gives_small_error(self):
+        q = (1.0, 2.0, 3.0)
+        d2, eps = approximate_squared_distance(q, q)
+        assert d2 == 0.0
+        assert eps < 1e-5
+
+
+class TestClassification:
+    def test_classify_exact_boundary_is_inside(self):
+        assert classify_exact(4.0, 4.0) is Classification.IN_RADIUS
+
+    def test_classify_exact_outside(self):
+        assert classify_exact(4.0001, 4.0) is Classification.NOT_IN_RADIUS
+
+    def test_shell_inside(self):
+        assert classify_with_shell(1.0, 4.0, 0.5) is Classification.IN_RADIUS
+
+    def test_shell_outside(self):
+        assert classify_with_shell(9.0, 4.0, 0.5) is Classification.NOT_IN_RADIUS
+
+    def test_shell_inconclusive_low_side(self):
+        assert classify_with_shell(3.8, 4.0, 0.5) is Classification.INCONCLUSIVE
+
+    def test_shell_inconclusive_high_side(self):
+        assert classify_with_shell(4.3, 4.0, 0.5) is Classification.INCONCLUSIVE
+
+    @given(q=st.tuples(coords, coords, coords), p=st.tuples(coords, coords, coords),
+           radius=st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=300, deadline=None)
+    def test_conclusive_shell_classification_matches_baseline(self, q, p, radius):
+        """Eq. 12 guarantee: any conclusive outcome equals the 32-bit outcome."""
+        p_reduced = [FLOAT16.round_trip(v) for v in p]
+        r2 = radius * radius
+        d2_true = sum((a - b) ** 2 for a, b in zip(q, p))
+        d2_approx, total_eps = approximate_squared_distance(q, p_reduced)
+        shell = classify_with_shell(d2_approx, r2, total_eps)
+        exact = classify_exact(d2_true, r2)
+        if shell is not Classification.INCONCLUSIVE:
+            assert shell is exact
+
+
+class TestPartErrorTable:
+    def test_size_matches_exponent_space(self):
+        assert len(PartErrorTable(FLOAT16)) == 32
+        assert len(PartErrorTable(BFLOAT16)) == 256
+
+    def test_lookup_matches_direct_formula(self):
+        table = PartErrorTable(FLOAT16)
+        value = 37.5
+        bits = FLOAT16.encode(value)
+        exponent = FLOAT16.biased_exponent(bits)
+        two_delta, delta_sq = table.lookup(exponent)
+        delta = max_delta(value)
+        assert two_delta == pytest.approx(2 * delta)
+        assert delta_sq == pytest.approx(delta * delta)
+
+    def test_error_bound_matches_eq9(self):
+        table = PartErrorTable(FLOAT16)
+        a, b = 10.0, 7.3
+        b_reduced = FLOAT16.round_trip(b)
+        assert table.error_bound(a, b_reduced) == pytest.approx(max_eps_sd(a, b_reduced))
+
+    def test_subnormal_exponent_uses_binade_one(self):
+        table = PartErrorTable(FLOAT16)
+        two_delta_0, _ = table.lookup(0)
+        two_delta_1, _ = table.lookup(1)
+        assert two_delta_0 == two_delta_1
+
+
+class TestShellClassifier:
+    def test_results_match_exact_classification(self, rng):
+        classifier = ShellClassifier()
+        r = 0.8
+        r2 = r * r
+        mismatches = 0
+        for _ in range(500):
+            q = rng.uniform(-50, 50, size=3)
+            p = q + rng.normal(0.0, 0.6, size=3)
+            p_reduced = [FLOAT16.round_trip(v) for v in p]
+            expected = float(np.sum((q - p) ** 2)) <= r2
+            got, _ = classifier.classify(q, p_reduced, p, r2)
+            mismatches += int(got != expected)
+        assert mismatches == 0
+
+    def test_stats_accumulate(self, rng):
+        classifier = ShellClassifier()
+        r2 = 0.25
+        for _ in range(50):
+            q = rng.uniform(-10, 10, size=3)
+            p = q + rng.normal(0.0, 0.3, size=3)
+            classifier.classify(q, [FLOAT16.round_trip(v) for v in p], p, r2)
+        stats = classifier.stats
+        assert stats.total == 50
+        assert stats.in_radius + stats.not_in_radius + stats.inconclusive == 50
+        assert 0.0 <= stats.inconclusive_rate <= 1.0
+
+    def test_inconclusive_rate_empty(self):
+        assert ShellClassifier().stats.inconclusive_rate == 0.0

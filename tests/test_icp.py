@@ -1,0 +1,93 @@
+"""Tests of the ICP registration baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import ICPConfig, ICPMatcher
+from repro.pointcloud import PointCloud
+
+
+@pytest.fixture(scope="module")
+def structured_cloud():
+    """A cloud with two perpendicular walls and scattered posts (well constrained)."""
+    rng = np.random.default_rng(11)
+    xs = rng.uniform(-20, 20, 1500)
+    wall_a = np.column_stack([xs, np.full_like(xs, 6.0) + rng.normal(0, 0.03, xs.size),
+                              rng.uniform(-1.5, 1.5, xs.size)])
+    ys = rng.uniform(-6, 6, 1200)
+    wall_b = np.column_stack([np.full_like(ys, 15.0) + rng.normal(0, 0.03, ys.size), ys,
+                              rng.uniform(-1.5, 1.5, ys.size)])
+    posts = rng.uniform(-15, 15, size=(300, 3))
+    posts[:, 1] = rng.uniform(-5, 5, 300)
+    posts[:, 2] = rng.uniform(-1.5, 2.0, 300)
+    return PointCloud(np.vstack([wall_a, wall_b, posts]).astype(np.float32))
+
+
+def _yaw_rotation(yaw):
+    c, s = np.cos(yaw), np.sin(yaw)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+class TestICPRegistration:
+    def test_identity_registration(self, structured_cloud):
+        matcher = ICPMatcher(structured_cloud, ICPConfig(max_scan_points=250))
+        result = matcher.register(structured_cloud)
+        assert np.linalg.norm(result.translation) < 0.05
+        assert abs(result.yaw) < 0.01
+        assert result.inlier_rmse < 0.1
+
+    def test_recovers_translation(self, structured_cloud):
+        matcher = ICPMatcher(structured_cloud, ICPConfig(max_scan_points=250))
+        offset = np.array([0.4, -0.25, 0.0])
+        scan = structured_cloud.translated(-offset)
+        result = matcher.register(scan)
+        np.testing.assert_allclose(result.translation[:2], offset[:2], atol=0.1)
+
+    def test_recovers_small_yaw(self, structured_cloud):
+        true_yaw = 0.03
+        rotation = _yaw_rotation(-true_yaw)
+        scan = structured_cloud.transformed(rotation, (0.0, 0.0, 0.0))
+        matcher = ICPMatcher(structured_cloud, ICPConfig(max_scan_points=250))
+        result = matcher.register(scan)
+        assert result.yaw == pytest.approx(true_yaw, abs=0.02)
+
+    def test_converges_flag(self, structured_cloud):
+        matcher = ICPMatcher(structured_cloud, ICPConfig(max_scan_points=200,
+                                                         max_iterations=30))
+        result = matcher.register(structured_cloud.translated([-0.2, 0.1, 0.0]))
+        assert result.converged
+        assert result.iterations <= 30
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ICPMatcher(PointCloud())
+
+    def test_correspondence_gating(self, structured_cloud):
+        matcher = ICPMatcher(structured_cloud,
+                             ICPConfig(max_correspondence_distance=0.01, max_scan_points=100))
+        # Scan far away from the map: everything gated out, no correspondences.
+        scan = structured_cloud.translated([100.0, 100.0, 0.0])
+        result = matcher.register(scan)
+        assert result.n_correspondences < 3
+        assert not result.converged
+
+
+class TestICPWithBonsai:
+    def test_bonsai_correspondences_give_same_transform(self, structured_cloud):
+        config = ICPConfig(max_scan_points=150, max_iterations=15)
+        scan = structured_cloud.translated([-0.3, 0.15, 0.0])
+        baseline = ICPMatcher(structured_cloud, config, use_bonsai=False).register(scan)
+        bonsai = ICPMatcher(structured_cloud, config, use_bonsai=True).register(scan)
+        np.testing.assert_allclose(bonsai.translation, baseline.translation, atol=1e-9)
+        np.testing.assert_allclose(bonsai.rotation, baseline.rotation, atol=1e-9)
+        assert bonsai.iterations == baseline.iterations
+
+    def test_bonsai_knn_avoids_exact_fetches(self, structured_cloud):
+        config = ICPConfig(max_scan_points=100, max_iterations=5)
+        matcher = ICPMatcher(structured_cloud, config, use_bonsai=True)
+        matcher.register(structured_cloud.translated([-0.2, 0.0, 0.0]))
+        stats = matcher._bonsai_knn.stats
+        assert stats.points_screened > 0
+        assert stats.exact_fetches < stats.points_screened

@@ -1,0 +1,79 @@
+"""Tests of point cloud serialisation (NPZ and ASCII PCD)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import PointCloud, load_npz, load_pcd, save_npz, save_pcd
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        cloud = PointCloud([[1.5, -2.25, 3.0], [0.0, 0.0, 0.0]],
+                           frame_id="velodyne", timestamp=2.5)
+        path = tmp_path / "cloud.npz"
+        save_npz(path, cloud)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.points, cloud.points)
+        assert loaded.frame_id == "velodyne"
+        assert loaded.timestamp == 2.5
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(path, PointCloud())
+        assert len(load_npz(path)) == 0
+
+    def test_roundtrip_lidar_frame(self, tmp_path, lidar_frame):
+        path = tmp_path / "frame.npz"
+        save_npz(path, lidar_frame)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.points, lidar_frame.points)
+
+
+class TestPcd:
+    def test_roundtrip(self, tmp_path):
+        cloud = PointCloud([[1.5, -2.25, 3.0], [10.0, 20.0, -30.0]])
+        path = tmp_path / "cloud.pcd"
+        save_pcd(path, cloud)
+        loaded = load_pcd(path)
+        np.testing.assert_allclose(loaded.points, cloud.points, atol=1e-5)
+
+    def test_header_fields(self, tmp_path):
+        path = tmp_path / "cloud.pcd"
+        save_pcd(path, PointCloud([[1, 2, 3]]))
+        text = path.read_text()
+        assert "FIELDS x y z" in text
+        assert "POINTS 1" in text
+        assert "DATA ascii" in text
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.pcd"
+        path.write_text("VERSION 0.7\nFIELDS a b\nPOINTS 0\nDATA ascii\n")
+        with pytest.raises(ValueError):
+            load_pcd(path)
+
+    def test_load_rejects_binary(self, tmp_path):
+        path = tmp_path / "bad.pcd"
+        path.write_text("FIELDS x y z\nPOINTS 0\nDATA binary\n")
+        with pytest.raises(ValueError):
+            load_pcd(path)
+
+    def test_load_rejects_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.pcd"
+        path.write_text("FIELDS x y z\nPOINTS 2\nDATA ascii\n1 2 3\n")
+        with pytest.raises(ValueError):
+            load_pcd(path)
+
+    def test_load_with_extra_fields(self, tmp_path):
+        path = tmp_path / "rgb.pcd"
+        path.write_text(
+            "FIELDS x y z intensity\nPOINTS 1\nDATA ascii\n1.0 2.0 3.0 0.5\n"
+        )
+        loaded = load_pcd(path)
+        np.testing.assert_allclose(loaded.points[0], [1.0, 2.0, 3.0])
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "empty.pcd"
+        save_pcd(path, PointCloud())
+        assert len(load_pcd(path)) == 0

@@ -1,0 +1,222 @@
+"""Tests of the ISA building blocks: memory, register files, ZipPts buffer, FUs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.error_model import max_eps_sd
+from repro.core.floatfmt import FLOAT16
+from repro.core.leaf_compression import ZIPPTS_SLICE_BYTES, compress_leaf
+from repro.isa import (
+    FU_LANES,
+    ScalarRegisterFile,
+    SparseMemory,
+    SquareDiffErrorFU,
+    VectorRegisterFile,
+    VectorSquareDiffUnit,
+    ZipPtsBuffer,
+)
+
+
+class TestSparseMemory:
+    def test_read_write_roundtrip(self):
+        memory = SparseMemory()
+        memory.write(0x1000, b"\x01\x02\x03")
+        assert memory.read(0x1000, 3) == b"\x01\x02\x03"
+
+    def test_unwritten_memory_reads_zero(self):
+        assert SparseMemory().read(0x5000, 4) == b"\x00\x00\x00\x00"
+
+    def test_cross_page_access(self):
+        memory = SparseMemory()
+        memory.write(4094, b"\xaa\xbb\xcc\xdd")
+        assert memory.read(4094, 4) == b"\xaa\xbb\xcc\xdd"
+
+    def test_float32_roundtrip(self):
+        memory = SparseMemory()
+        memory.write_float32(0x100, -3.25)
+        assert memory.read_float32(0x100) == -3.25
+
+    def test_point_roundtrip(self):
+        memory = SparseMemory()
+        memory.write_point_fp32(0x200, (1.5, -2.5, 3.5))
+        np.testing.assert_array_equal(memory.read_point_fp32(0x200), [1.5, -2.5, 3.5])
+
+    def test_points_array_layout(self):
+        memory = SparseMemory()
+        written = memory.write_points_fp32(0x0, [(1, 1, 1), (2, 2, 2)], stride=16)
+        assert written == 32
+        np.testing.assert_array_equal(memory.read_point_fp32(16), [2, 2, 2])
+
+    def test_counters(self):
+        memory = SparseMemory()
+        memory.write(0, b"\x00" * 8)
+        memory.read(0, 8)
+        assert memory.counters.loads == 1
+        assert memory.counters.stores == 1
+        assert memory.counters.bytes_loaded == 8
+        assert memory.counters.bytes_stored == 8
+        memory.counters.reset()
+        assert memory.counters.loads == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            SparseMemory().read(-1, 4)
+
+
+class TestRegisterFiles:
+    def test_f16_lane_roundtrip(self):
+        regs = VectorRegisterFile()
+        regs.write_f16_lanes(3, [1.0, -2.0, 0.5, 4.0])
+        lanes = regs.read_f16_lanes(3)
+        np.testing.assert_array_equal(lanes[:4], [1.0, -2.0, 0.5, 4.0])
+        np.testing.assert_array_equal(lanes[4:], np.zeros(4))
+
+    def test_f32_lane_roundtrip(self):
+        regs = VectorRegisterFile()
+        regs.write_f32_lanes(0, [1.25, 2.5, 3.75, -4.0])
+        np.testing.assert_array_equal(regs.read_f32_lanes(0), [1.25, 2.5, 3.75, -4.0])
+
+    def test_register_is_128_bits(self):
+        regs = VectorRegisterFile()
+        assert len(regs.read_raw(0)) == 16
+
+    def test_too_many_lanes_rejected(self):
+        regs = VectorRegisterFile()
+        with pytest.raises(ValueError):
+            regs.write_f16_lanes(0, list(range(9)))
+        with pytest.raises(ValueError):
+            regs.write_f32_lanes(0, list(range(5)))
+
+    def test_out_of_range_register_rejected(self):
+        regs = VectorRegisterFile(n_registers=4)
+        with pytest.raises(IndexError):
+            regs.read_f32_lanes(4)
+
+    def test_scalar_registers(self):
+        regs = ScalarRegisterFile()
+        regs.write(5, 0xDEADBEEF)
+        assert regs.read(5) == 0xDEADBEEF
+        with pytest.raises(IndexError):
+            regs.read(99)
+
+
+class TestZipPtsBuffer:
+    def test_load_point_converts_to_fp16(self):
+        buffer = ZipPtsBuffer()
+        buffer.load_point(0, (1.0005, -2.0, 3.0))
+        stored = buffer.points(1)[0]
+        assert stored[0] == FLOAT16.round_trip(1.0005)
+        assert stored[1] == -2.0
+
+    def test_capacity(self):
+        buffer = ZipPtsBuffer()
+        assert buffer.capacity == 16
+        with pytest.raises(IndexError):
+            buffer.load_point(16, (0, 0, 0))
+
+    def test_compress_requires_filled_slots(self):
+        buffer = ZipPtsBuffer()
+        buffer.load_point(0, (1, 1, 1))
+        with pytest.raises(ValueError):
+            buffer.compress(2)
+
+    def test_compress_decompress_roundtrip(self, rng):
+        buffer = ZipPtsBuffer()
+        points = (np.array([30.0, -12.0, 1.0])
+                  + rng.normal(0, 0.3, size=(10, 3))).astype(np.float32)
+        for i, point in enumerate(points):
+            buffer.load_point(i, point)
+        compressed = buffer.compress(10)
+        assert compressed.data == compress_leaf(points).data
+
+        fresh = ZipPtsBuffer()
+        fresh.load_compressed(compressed.data, n_points=10)
+        values = fresh.decompress()
+        np.testing.assert_array_equal(values, points.astype(np.float16).astype(np.float64))
+
+    def test_compressed_slices_partition_data(self, rng):
+        buffer = ZipPtsBuffer()
+        points = (np.array([5.0, 5.0, 1.0])
+                  + rng.normal(0, 0.1, size=(15, 3))).astype(np.float32)
+        for i, point in enumerate(points):
+            buffer.load_point(i, point)
+        compressed = buffer.compress(15)
+        slices = buffer.compressed_slices()
+        assert len(slices) == compressed.n_slices
+        assert b"".join(slices) == compressed.data
+        assert all(len(s) == ZIPPTS_SLICE_BYTES for s in slices)
+
+    def test_load_compressed_rejects_partial_slice(self):
+        buffer = ZipPtsBuffer()
+        with pytest.raises(ValueError):
+            buffer.load_compressed(b"\x00" * 17, n_points=1)
+
+    def test_decompress_without_content_rejected(self):
+        with pytest.raises(ValueError):
+            ZipPtsBuffer().decompress()
+
+    def test_clear(self, rng):
+        buffer = ZipPtsBuffer()
+        buffer.load_point(0, (1, 2, 3))
+        buffer.clear()
+        assert buffer.n_points == 0
+
+    def test_max_slices(self):
+        # 16 points x 3 coords x 16 bits + 3 flag bits = 771 bits -> 97 B -> 7 slices.
+        assert ZipPtsBuffer().max_slices() == 7
+
+
+class TestSquareDiffFU:
+    def test_square_difference_value(self):
+        fu = SquareDiffErrorFU()
+        sq, err = fu.compute(3.0, 1.0)
+        assert sq == 4.0
+        assert err >= 0.0
+
+    def test_error_matches_eq9(self):
+        from repro.core.error_model import max_delta
+
+        fu = SquareDiffErrorFU()
+        a, b_reduced = 10.0, FLOAT16.round_trip(7.3)
+        _, err = fu.compute(a, b_reduced)
+        delta = max_delta(b_reduced)
+        diff = abs(float(np.float32(a)) - float(np.float32(b_reduced)))
+        expected = 2.0 * diff * delta + delta * delta
+        assert err == pytest.approx(expected, rel=1e-6)
+
+    def test_error_agrees_with_library_bound(self):
+        fu = SquareDiffErrorFU()
+        a, b = 55.0, 54.2
+        b_reduced = FLOAT16.round_trip(b)
+        _, err = fu.compute(a, b_reduced)
+        assert err == pytest.approx(max_eps_sd(a, b_reduced), rel=1e-5)
+
+    def test_activity_counters(self):
+        fu = SquareDiffErrorFU()
+        fu.compute(1.0, 1.0)
+        fu.compute(2.0, 1.0)
+        assert fu.activity.operations == 2
+        assert fu.activity.table_lookups == 2
+
+    def test_vector_unit_low_and_high(self):
+        unit = VectorSquareDiffUnit()
+        v_a = [1.0, 1.0, 1.0, 1.0]
+        v_b = [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        sq_low, err_low = unit.compute_half(v_a, v_b, high=False)
+        sq_high, err_high = unit.compute_half(v_a, v_b, high=True)
+        np.testing.assert_allclose(sq_low, [1.0, 0.25, 0.0, 1.0])
+        np.testing.assert_allclose(sq_high, [4.0, 9.0, 16.0, 25.0])
+        assert np.all(err_low >= 0) and np.all(err_high >= 0)
+        assert unit.total_operations == 8
+
+    def test_vector_unit_lane_count_enforced(self):
+        unit = VectorSquareDiffUnit()
+        with pytest.raises(ValueError):
+            unit.compute_half([1.0] * 3, [0.0] * 8, high=False)
+        with pytest.raises(ValueError):
+            unit.compute_half([1.0] * 4, [0.0] * 7, high=False)
+
+    def test_fu_lanes_constant(self):
+        assert FU_LANES == 4

@@ -1,0 +1,182 @@
+"""Tests of the binary encoding / assembler / disassembler of the Bonsai ISA."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    BONSAI_MAJOR_OPCODE,
+    CPRZPB,
+    LDDCP,
+    LDSPZPB,
+    SQDWEH,
+    SQDWEL,
+    STZPB,
+    InstructionEncodingError,
+    assemble,
+    assemble_program,
+    decode_instruction,
+    decode_program,
+    disassemble,
+    encode_instruction,
+    encode_program,
+)
+
+EXAMPLES = [
+    LDSPZPB(r_index=1, r_addr=2),
+    CPRZPB(r_size=4, r_num_pts=3),
+    STZPB(r_addr=5, n_slices=4),
+    LDDCP(v_base=8, r_num_pts=6, r_addr=7, n_slices=5),
+    SQDWEL(v_sq_diff=2, v_error=3, v_a=1, v_b=9),
+    SQDWEH(v_sq_diff=12, v_error=13, v_a=11, v_b=19),
+]
+
+registers = st.integers(min_value=0, max_value=31)
+slices = st.integers(min_value=0, max_value=63)
+
+instruction_strategy = st.one_of(
+    st.builds(LDSPZPB, r_index=registers, r_addr=registers),
+    st.builds(CPRZPB, r_size=registers, r_num_pts=registers),
+    st.builds(STZPB, r_addr=registers, n_slices=slices),
+    st.builds(LDDCP, v_base=registers, r_num_pts=registers, r_addr=registers,
+              n_slices=slices),
+    st.builds(SQDWEL, v_sq_diff=registers, v_error=registers, v_a=registers,
+              v_b=registers),
+    st.builds(SQDWEH, v_sq_diff=registers, v_error=registers, v_a=registers,
+              v_b=registers),
+)
+
+
+class TestWordEncoding:
+    @pytest.mark.parametrize("instruction", EXAMPLES, ids=lambda i: i.mnemonic)
+    def test_roundtrip_examples(self, instruction):
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+    @pytest.mark.parametrize("instruction", EXAMPLES, ids=lambda i: i.mnemonic)
+    def test_major_opcode_present(self, instruction):
+        word = encode_instruction(instruction)
+        assert (word >> 24) & 0xFF == BONSAI_MAJOR_OPCODE
+        assert 0 <= word < (1 << 32)
+
+    def test_distinct_instructions_get_distinct_words(self):
+        words = {encode_instruction(i) for i in EXAMPLES}
+        assert len(words) == len(EXAMPLES)
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(InstructionEncodingError):
+            encode_instruction(LDSPZPB(r_index=32, r_addr=0))
+
+    def test_slice_count_out_of_range_rejected(self):
+        with pytest.raises(InstructionEncodingError):
+            encode_instruction(STZPB(r_addr=0, n_slices=64))
+
+    def test_foreign_word_rejected(self):
+        with pytest.raises(InstructionEncodingError):
+            decode_instruction(0x12345678)
+
+    def test_unknown_minor_opcode_rejected(self):
+        word = (BONSAI_MAJOR_OPCODE << 24) | (0x7 << 21)
+        with pytest.raises(InstructionEncodingError):
+            decode_instruction(word)
+
+    @given(instruction=instruction_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_property(self, instruction):
+        assert decode_instruction(encode_instruction(instruction)) == instruction
+
+
+class TestProgramEncoding:
+    def test_program_roundtrip(self):
+        byte_code = encode_program(EXAMPLES)
+        assert len(byte_code) == 4 * len(EXAMPLES)
+        assert decode_program(byte_code) == EXAMPLES
+
+    def test_empty_program(self):
+        assert encode_program([]) == b""
+        assert decode_program(b"") == []
+
+    def test_truncated_byte_code_rejected(self):
+        with pytest.raises(InstructionEncodingError):
+            decode_program(b"\x00\x01\x02")
+
+
+class TestAssembler:
+    @pytest.mark.parametrize("line,expected", [
+        ("LDSPZPB x1, [x2]", LDSPZPB(r_index=1, r_addr=2)),
+        ("CPRZPB x4, x3", CPRZPB(r_size=4, r_num_pts=3)),
+        ("STZPB [x5], #4", STZPB(r_addr=5, n_slices=4)),
+        ("LDDCP v8, x6, [x7], #5", LDDCP(v_base=8, r_num_pts=6, r_addr=7, n_slices=5)),
+        ("SQDWEL v2, v3, v1, v9", SQDWEL(v_sq_diff=2, v_error=3, v_a=1, v_b=9)),
+        ("sqdweh v2, v3, v1, v10", SQDWEH(v_sq_diff=2, v_error=3, v_a=1, v_b=10)),
+    ])
+    def test_assemble_table2_syntax(self, line, expected):
+        assert assemble(line) == expected
+
+    def test_assemble_with_comment(self):
+        assert assemble("CPRZPB x4, x3 // compress the buffer") == \
+            CPRZPB(r_size=4, r_num_pts=3)
+
+    def test_assemble_unknown_mnemonic(self):
+        with pytest.raises(InstructionEncodingError):
+            assemble("FOO x1, x2")
+
+    def test_assemble_wrong_operand_count(self):
+        with pytest.raises(InstructionEncodingError):
+            assemble("CPRZPB x4")
+
+    def test_assemble_empty_line(self):
+        with pytest.raises(InstructionEncodingError):
+            assemble("   ")
+
+    def test_assemble_program_skips_blank_and_comment_lines(self):
+        source = """
+        // compress one leaf
+        LDSPZPB x1, [x2]
+        CPRZPB x4, x3
+
+        STZPB [x5], #4
+        """
+        program = assemble_program(source)
+        assert [i.mnemonic for i in program] == ["LDSPZPB", "CPRZPB", "STZPB"]
+
+    @pytest.mark.parametrize("instruction", EXAMPLES, ids=lambda i: i.mnemonic)
+    def test_disassemble_assemble_roundtrip(self, instruction):
+        assert assemble(disassemble(instruction)) == instruction
+
+    @given(instruction=instruction_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_disassemble_assemble_roundtrip_property(self, instruction):
+        assert assemble(disassemble(instruction)) == instruction
+
+
+class TestAssembledExecution:
+    def test_assembled_program_runs_on_machine(self, rng):
+        """Byte-code assembled from Table II text drives the functional machine."""
+        import numpy as np
+
+        from repro.isa import BonsaiMachine
+
+        machine = BonsaiMachine()
+        points = (np.array([12.0, -3.0, 0.5])
+                  + rng.normal(0, 0.2, size=(4, 3))).astype(np.float32)
+        for i, point in enumerate(points):
+            machine.memory.write_point_fp32(0x100 + 16 * i, point)
+
+        source_lines = []
+        for i in range(4):
+            machine.scalars.write(10 + i, 0x100 + 16 * i)
+        for i in range(4):
+            machine.scalars.write(20 + i, i)
+            source_lines.append(f"LDSPZPB x{20 + i}, [x{10 + i}]")
+        machine.scalars.write(3, 4)
+        source_lines.append("CPRZPB x4, x3")
+        machine.scalars.write(5, 0x4000)
+        program = assemble_program("\n".join(source_lines))
+        byte_code = encode_program(program)
+        machine.run(decode_program(byte_code))
+        size = machine.scalars.read(4)
+        from repro.core import compress_leaf
+
+        assert size == compress_leaf(points).size_bytes

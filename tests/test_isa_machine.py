@@ -1,0 +1,180 @@
+"""Tests of the Bonsai machine: instruction semantics and end-to-end flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.floatfmt import FLOAT16
+from repro.core.leaf_compression import ZIPPTS_SLICE_BYTES, compress_leaf
+from repro.isa import (
+    CPRZPB,
+    LDDCP,
+    LDSPZPB,
+    SQDWEH,
+    SQDWEL,
+    STZPB,
+    BonsaiMachine,
+)
+from repro.kdtree import build_kdtree, radius_search
+
+
+@pytest.fixture()
+def machine():
+    return BonsaiMachine()
+
+
+def _leaf_points(rng, n=10, center=(25.0, -8.0, 0.5), spread=0.3):
+    return (np.asarray(center) + rng.normal(0.0, spread, size=(n, 3))).astype(np.float32)
+
+
+class TestInstructionSemantics:
+    def test_ldspzpb_loads_and_converts(self, machine):
+        machine.memory.write_point_fp32(0x100, (1.0003, 2.0, -3.0))
+        machine.scalars.write(1, 0)      # slot index
+        machine.scalars.write(2, 0x100)  # address
+        machine.execute(LDSPZPB(r_index=1, r_addr=2))
+        stored = machine.zippts.points(1)[0]
+        assert stored[0] == FLOAT16.round_trip(1.0003)
+        assert machine.counters.instructions == 1
+        assert machine.counters.micro_ops == 2
+        assert machine.counters.load_micro_ops == 1
+
+    def test_cprzpb_reports_size(self, machine, rng):
+        points = _leaf_points(rng, n=8)
+        for i, point in enumerate(points):
+            machine.memory.write_point_fp32(0x100 + 16 * i, point)
+            machine.scalars.write(1, i)
+            machine.scalars.write(2, 0x100 + 16 * i)
+            machine.execute(LDSPZPB(r_index=1, r_addr=2))
+        machine.scalars.write(3, 8)
+        machine.execute(CPRZPB(r_size=4, r_num_pts=3))
+        expected = compress_leaf(points)
+        assert machine.scalars.read(4) == expected.size_bytes
+
+    def test_stzpb_stores_slices(self, machine, rng):
+        points = _leaf_points(rng, n=6)
+        size_bytes, n_slices = machine.compress_leaf_points(points, points_base=0x100,
+                                                            compressed_base=0x4000)
+        expected = compress_leaf(points)
+        assert size_bytes == expected.size_bytes
+        stored = machine.memory.read(0x4000, size_bytes)
+        assert stored == expected.data
+        assert machine.counters.store_micro_ops == n_slices
+
+    def test_stzpb_too_many_slices_rejected(self, machine, rng):
+        points = _leaf_points(rng, n=4)
+        for i, point in enumerate(points):
+            machine.memory.write_point_fp32(0x100 + 16 * i, point)
+            machine.scalars.write(1, i)
+            machine.scalars.write(2, 0x100 + 16 * i)
+            machine.execute(LDSPZPB(r_index=1, r_addr=2))
+        machine.scalars.write(3, 4)
+        machine.execute(CPRZPB(r_size=4, r_num_pts=3))
+        machine.scalars.write(5, 0x4000)
+        with pytest.raises(ValueError):
+            machine.execute(STZPB(r_addr=5, n_slices=40))
+
+    def test_lddcp_round_trips_points(self, machine, rng):
+        points = _leaf_points(rng, n=12)
+        _, n_slices = machine.compress_leaf_points(points, points_base=0x100,
+                                                   compressed_base=0x4000)
+        machine.scalars.write(6, 12)
+        machine.scalars.write(7, 0x4000)
+        machine.execute(LDDCP(v_base=8, r_num_pts=6, r_addr=7, n_slices=n_slices))
+        expected = points.astype(np.float16).astype(np.float64)
+        for coord in range(3):
+            low = machine.vectors.read_f16_lanes(8 + 2 * coord)
+            high = machine.vectors.read_f16_lanes(8 + 2 * coord + 1)
+            lanes = np.concatenate([low, high])[:12]
+            np.testing.assert_array_equal(lanes, expected[:, coord])
+
+    def test_lddcp_micro_op_expansion(self, machine, rng):
+        points = _leaf_points(rng, n=15)
+        _, n_slices = machine.compress_leaf_points(points, points_base=0x100,
+                                                   compressed_base=0x4000)
+        before = machine.counters.micro_ops
+        machine.scalars.write(6, 15)
+        machine.scalars.write(7, 0x4000)
+        instruction = LDDCP(v_base=8, r_num_pts=6, r_addr=7, n_slices=n_slices)
+        machine.execute(instruction)
+        assert instruction.micro_ops() == n_slices + 4
+        assert machine.counters.micro_ops - before == n_slices + 4
+
+    def test_sqdwe_low_high(self, machine):
+        machine.vectors.write_f32_lanes(1, [2.0, 2.0, 2.0, 2.0])
+        machine.vectors.write_f16_lanes(2, [1.0, 0.0, 3.0, 2.0, -1.0, 4.0, 2.5, 10.0])
+        machine.execute(SQDWEL(v_sq_diff=3, v_error=4, v_a=1, v_b=2))
+        np.testing.assert_allclose(machine.vectors.read_f32_lanes(3), [1.0, 4.0, 1.0, 0.0])
+        machine.execute(SQDWEH(v_sq_diff=3, v_error=4, v_a=1, v_b=2))
+        np.testing.assert_allclose(machine.vectors.read_f32_lanes(3), [9.0, 4.0, 0.25, 64.0])
+        assert np.all(machine.vectors.read_f32_lanes(4) >= 0)
+
+    def test_unknown_instruction_rejected(self, machine):
+        class Bogus:
+            mnemonic = "BOGUS"
+
+            def micro_ops(self):
+                return 1
+
+        with pytest.raises(ValueError):
+            machine.execute(Bogus())
+
+    def test_per_mnemonic_counting(self, machine, rng):
+        points = _leaf_points(rng, n=5)
+        machine.compress_leaf_points(points, points_base=0x100, compressed_base=0x4000)
+        assert machine.counters.per_mnemonic["LDSPZPB"] == 5
+        assert machine.counters.per_mnemonic["CPRZPB"] == 1
+        assert machine.counters.per_mnemonic["STZPB"] == 1
+
+
+class TestLeafClassificationFlow:
+    def test_matches_library_radius_search(self, rng):
+        """The ISA-level flow classifies a leaf exactly like the library search."""
+        machine = BonsaiMachine()
+        points = _leaf_points(rng, n=15, spread=0.6)
+        tree = build_kdtree(points)           # single leaf (15 points)
+        assert tree.n_leaves == 1
+        query = points[0].astype(np.float64) + np.array([0.3, -0.2, 0.1])
+        radius = 0.5
+
+        _, n_slices = machine.compress_leaf_points(points, points_base=0x100,
+                                                   compressed_base=0x4000)
+        in_radius, recomputed = machine.classify_leaf(
+            query, radius * radius, compressed_base=0x4000, n_points=15,
+            n_slices=n_slices, points_base=0x100,
+        )
+        expected = radius_search(tree, query, radius)
+        assert sorted(in_radius) == sorted(expected)
+        assert recomputed >= 0
+
+    def test_classification_equivalence_many_random_leaves(self, rng):
+        machine = BonsaiMachine()
+        mismatches = 0
+        base = 0x10000
+        for trial in range(25):
+            n = int(rng.integers(2, 16))
+            center = rng.uniform(-80, 80, size=3)
+            center[2] = rng.uniform(-2, 4)
+            points = (center + rng.normal(0, 0.5, size=(n, 3))).astype(np.float32)
+            query = center + rng.normal(0, 0.5, size=3)
+            radius = float(rng.uniform(0.2, 1.5))
+            points_base = base + trial * 0x1000
+            compressed_base = base + 0x100000 + trial * 0x1000
+            _, n_slices = machine.compress_leaf_points(points, points_base, compressed_base)
+            got, _ = machine.classify_leaf(query, radius * radius, compressed_base,
+                                           n, n_slices, points_base)
+            diffs = points.astype(np.float64) - query
+            d2 = np.einsum("ij,ij->i", diffs, diffs)
+            expected = sorted(np.nonzero(d2 <= radius * radius)[0].tolist())
+            mismatches += int(sorted(got) != expected)
+        assert mismatches == 0
+
+    def test_counters_track_memory_traffic(self, rng):
+        machine = BonsaiMachine()
+        points = _leaf_points(rng, n=15)
+        _, n_slices = machine.compress_leaf_points(points, 0x100, 0x4000)
+        loads_before = machine.counters.bytes_loaded
+        machine.classify_leaf((25.0, -8.0, 0.5), 0.25, 0x4000, 15, n_slices, 0x100)
+        delta = machine.counters.bytes_loaded - loads_before
+        assert delta >= n_slices * ZIPPTS_SLICE_BYTES

@@ -1,0 +1,132 @@
+"""Tests of k-d tree construction and its structural invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kdtree import DEFAULT_MAX_LEAF_SIZE, KDTreeConfig, build_kdtree
+from repro.pointcloud import PointCloud
+
+
+class TestBuildBasics:
+    def test_pcl_default_leaf_size(self):
+        assert DEFAULT_MAX_LEAF_SIZE == 15
+        assert KDTreeConfig().max_leaf_size == 15
+
+    def test_invalid_leaf_size_rejected(self):
+        with pytest.raises(ValueError):
+            KDTreeConfig(max_leaf_size=0)
+
+    def test_empty_cloud_rejected(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.empty((0, 3), dtype=np.float32))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.zeros((10, 2), dtype=np.float32))
+
+    def test_accepts_pointcloud_and_array(self, random_cloud):
+        from_cloud = build_kdtree(random_cloud)
+        from_array = build_kdtree(random_cloud.points)
+        assert from_cloud.n_points == from_array.n_points
+
+    def test_single_point(self):
+        tree = build_kdtree(np.array([[1.0, 2.0, 3.0]], dtype=np.float32))
+        assert tree.n_leaves == 1
+        assert tree.root.is_leaf
+        tree.validate()
+
+    def test_small_cloud_single_leaf(self):
+        points = np.random.default_rng(0).uniform(-1, 1, size=(15, 3)).astype(np.float32)
+        tree = build_kdtree(points)
+        assert tree.n_leaves == 1
+
+    def test_sixteen_points_split(self):
+        points = np.random.default_rng(0).uniform(-1, 1, size=(16, 3)).astype(np.float32)
+        tree = build_kdtree(points)
+        assert tree.n_leaves == 2
+
+
+class TestInvariants:
+    def test_validate_frame_tree(self, frame_tree):
+        frame_tree.validate()
+
+    def test_validate_random_tree(self, random_tree):
+        random_tree.validate()
+
+    def test_leaf_sizes_bounded(self, frame_tree):
+        for leaf in frame_tree.leaves:
+            assert 1 <= leaf.n_points <= frame_tree.config.max_leaf_size
+
+    def test_all_points_indexed_once(self, frame_tree):
+        all_indices = np.concatenate([leaf.indices for leaf in frame_tree.leaves])
+        assert len(all_indices) == frame_tree.n_points
+        assert len(np.unique(all_indices)) == frame_tree.n_points
+
+    def test_leaf_ids_sequential(self, frame_tree):
+        assert [leaf.leaf_id for leaf in frame_tree.leaves] == list(range(frame_tree.n_leaves))
+
+    def test_node_counts(self, frame_tree):
+        leaves = sum(1 for node in frame_tree.iter_nodes() if node.is_leaf)
+        interior = sum(1 for node in frame_tree.iter_nodes() if not node.is_leaf)
+        assert leaves == frame_tree.stats.n_leaves == frame_tree.n_leaves
+        assert interior == frame_tree.stats.n_interior
+        # A full binary tree has exactly leaves - 1 interior nodes.
+        assert interior == leaves - 1
+
+    def test_depth_reasonably_balanced(self, frame_tree):
+        """Median splits keep the depth within a small factor of the optimum."""
+        optimal = np.ceil(np.log2(frame_tree.n_points / frame_tree.config.max_leaf_size))
+        assert frame_tree.depth() <= optimal + 4
+
+    def test_split_dimension_is_widest(self, random_tree):
+        points = random_tree.points
+        for node in random_tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            spread = node.bbox_max - node.bbox_min
+            assert spread[node.split_dim] == pytest.approx(spread.max())
+
+    def test_duplicate_points_handled(self):
+        points = np.tile(np.array([[1.0, 2.0, 3.0]], dtype=np.float32), (50, 1))
+        tree = build_kdtree(points)
+        tree.validate()
+        assert tree.n_points == 50
+
+    def test_collinear_points_handled(self):
+        xs = np.linspace(0, 10, 100, dtype=np.float32)
+        points = np.column_stack([xs, np.zeros(100), np.zeros(100)]).astype(np.float32)
+        tree = build_kdtree(points)
+        tree.validate()
+
+    def test_custom_leaf_size(self, random_cloud):
+        tree = build_kdtree(random_cloud, KDTreeConfig(max_leaf_size=5))
+        tree.validate()
+        assert max(leaf.n_points for leaf in tree.leaves) <= 5
+        assert tree.n_leaves > build_kdtree(random_cloud).n_leaves
+
+    def test_leaf_points_accessor(self, random_tree):
+        leaf = random_tree.leaves[0]
+        pts = random_tree.leaf_points(leaf)
+        assert pts.shape == (leaf.n_points, 3)
+        np.testing.assert_array_equal(pts, random_tree.points[leaf.indices])
+
+
+class TestBuildProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_points=st.integers(min_value=1, max_value=400),
+        max_leaf_size=st.integers(min_value=1, max_value=16),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_arbitrary_clouds(self, seed, n_points, max_leaf_size, scale):
+        rng = np.random.default_rng(seed)
+        points = (rng.normal(0.0, scale, size=(n_points, 3))).astype(np.float32)
+        tree = build_kdtree(points, KDTreeConfig(max_leaf_size=max_leaf_size))
+        tree.validate()
+        assert tree.n_points == n_points
+        assert sum(leaf.n_points for leaf in tree.leaves) == n_points

@@ -1,0 +1,64 @@
+"""Tests of the NDT localization workload with cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import LocalizationConfig, NDTLocalizationPipeline
+
+
+@pytest.fixture(scope="module")
+def localization_frames(small_sequence):
+    map_cloud = small_sequence.frame(0)
+    scans = [small_sequence.frame(i) for i in range(1, 3)]
+    return map_cloud, scans
+
+
+@pytest.fixture(scope="module")
+def measurements(localization_frames):
+    map_cloud, scans = localization_frames
+    baseline = NDTLocalizationPipeline(map_cloud, use_bonsai=False)
+    bonsai = NDTLocalizationPipeline(map_cloud, use_bonsai=True)
+    initials = [(0.8 * (i + 1) - 0.3, 0.0, 0.0) for i in range(len(scans))]
+    return (baseline.register_sequence(scans, initials),
+            bonsai.register_sequence(scans, initials))
+
+
+class TestLocalizationPipeline:
+    def test_measurement_fields(self, measurements):
+        baseline, _ = measurements
+        m = baseline[0]
+        assert m.instructions > 0
+        assert m.loads > 0
+        assert m.seconds > 0
+        assert m.energy_j > 0
+        assert m.iterations >= 1
+        assert m.translation.shape == (3,)
+
+    def test_bonsai_reduces_bytes_and_cost(self, measurements):
+        """The paper's claim that NDT matching also benefits from K-D Bonsai."""
+        baseline, bonsai = measurements
+        for base, new in zip(baseline, bonsai):
+            assert new.point_bytes_loaded < 0.6 * base.point_bytes_loaded
+            assert new.loads < base.loads
+            assert new.seconds < base.seconds
+            assert new.energy_j < base.energy_j
+
+    def test_identical_pose_estimates(self, measurements):
+        """Radius-search results are identical, so the optimiser's output is too."""
+        baseline, bonsai = measurements
+        for base, new in zip(baseline, bonsai):
+            np.testing.assert_allclose(new.translation, base.translation, atol=1e-9)
+            assert new.iterations == base.iterations
+
+    def test_scan_indices_preserved(self, measurements):
+        baseline, _ = measurements
+        assert [m.scan_index for m in baseline] == list(range(len(baseline)))
+
+    def test_custom_config(self, localization_frames):
+        map_cloud, scans = localization_frames
+        config = LocalizationConfig()
+        pipeline = NDTLocalizationPipeline(map_cloud, config=config, use_bonsai=False)
+        measurement = pipeline.register_scan(scans[0], initial_translation=(0.5, 0.0, 0.0))
+        assert measurement.use_bonsai is False

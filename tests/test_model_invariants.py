@@ -1,0 +1,122 @@
+"""Property-based invariants of the hardware models and statistics containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bonsai_search import BonsaiStats
+from repro.hwmodel import CacheConfig, MemoryHierarchy, SetAssociativeCache, TimingModel
+from repro.hwmodel.timing import KernelMetrics
+from repro.kdtree import SearchStats
+
+addresses = st.integers(min_value=0, max_value=1 << 22)
+
+
+class TestCacheInvariants:
+    @given(trace=st.lists(addresses, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equal_accesses(self, trace):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=4096, associativity=2))
+        for address in trace:
+            cache.access(address)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses == len(trace)
+
+    @given(trace=st.lists(addresses, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_resident_lines_never_exceed_capacity(self, trace):
+        config = CacheConfig(size_bytes=4096, associativity=2)
+        cache = SetAssociativeCache(config)
+        for address in trace:
+            cache.access(address)
+        resident = sum(len(s) for s in cache._sets)
+        assert resident <= config.n_sets * config.associativity
+        assert resident == cache.stats.misses - cache.stats.evictions
+
+    @given(trace=st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_second_pass_over_small_footprint_hits(self, trace):
+        """Any trace that fits in the cache entirely hits on replay."""
+        config = CacheConfig(size_bytes=1 << 20, associativity=16)
+        cache = SetAssociativeCache(config)
+        for address in trace:
+            cache.access(address)
+        before = cache.stats.misses
+        for address in trace:
+            cache.access(address)
+        assert cache.stats.misses == before
+
+    @given(trace=st.lists(st.tuples(addresses, st.integers(min_value=1, max_value=64)),
+                          min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_hierarchy_level_counts_are_nested(self, trace):
+        hierarchy = MemoryHierarchy()
+        for address, size in trace:
+            hierarchy.access(address, size)
+        stats = hierarchy.stats
+        assert stats.l1_misses <= stats.l1_accesses
+        assert stats.l2_accesses == stats.l1_misses
+        assert stats.l2_misses <= stats.l2_accesses
+        assert stats.memory_accesses == stats.l2_misses
+
+
+class TestTimingInvariants:
+    metric_values = st.integers(min_value=0, max_value=10_000_000)
+
+    @given(instructions=metric_values, misses=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_non_negative_and_monotonic_in_instructions(self, instructions, misses):
+        model = TimingModel()
+
+        def metrics(n):
+            return KernelMetrics(
+                instructions=n, loads=n // 4, stores=n // 8,
+                l1_accesses=n // 3, l1_misses=misses, l2_accesses=misses,
+                l2_misses=misses // 3, memory_accesses=misses // 3,
+            )
+
+        base = model.cycles(metrics(instructions))
+        more = model.cycles(metrics(instructions + 1000))
+        assert base >= 0
+        assert more >= base
+
+
+class TestStatsContainers:
+    @given(
+        a=st.tuples(*[st.integers(min_value=0, max_value=10_000)] * 5),
+        b=st.tuples(*[st.integers(min_value=0, max_value=10_000)] * 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_search_stats_merge_is_additive(self, a, b):
+        first = SearchStats(queries=a[0], leaves_visited=a[1], interior_visited=a[2],
+                            points_examined=a[3], points_in_radius=a[4])
+        second = SearchStats(queries=b[0], leaves_visited=b[1], interior_visited=b[2],
+                             points_examined=b[3], points_in_radius=b[4])
+        first.merge(second)
+        assert first.queries == a[0] + b[0]
+        assert first.points_examined == a[3] + b[3]
+        assert first.points_in_radius == a[4] + b[4]
+
+    @given(
+        classified=st.integers(min_value=1, max_value=100_000),
+        inconclusive=st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bonsai_stats_rate_bounded(self, classified, inconclusive):
+        inconclusive = min(inconclusive, classified)
+        stats = BonsaiStats(points_classified=classified, inconclusive=inconclusive)
+        assert 0.0 <= stats.inconclusive_rate <= 1.0
+
+    def test_bonsai_stats_merge(self):
+        a = BonsaiStats(leaf_visits=2, slices_loaded=8, compressed_bytes_loaded=128,
+                        points_classified=30, conclusive_in=10, conclusive_out=19,
+                        inconclusive=1, recompute_bytes_loaded=16)
+        b = BonsaiStats(leaf_visits=1, slices_loaded=4, compressed_bytes_loaded=64,
+                        points_classified=15, conclusive_in=5, conclusive_out=10,
+                        inconclusive=0, recompute_bytes_loaded=0)
+        a.merge(b)
+        assert a.leaf_visits == 3
+        assert a.points_classified == 45
+        assert a.total_point_bytes_loaded == 128 + 64 + 16

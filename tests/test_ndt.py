@@ -1,0 +1,97 @@
+"""Tests of the simplified NDT registration workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import NDTConfig, NDTMap, NDTMatcher
+from repro.pointcloud import PointCloud
+
+
+@pytest.fixture(scope="module")
+def structured_map_cloud():
+    """A map cloud with enough structure for NDT to localise against."""
+    rng = np.random.default_rng(42)
+    walls = []
+    # Two walls and a line of posts: surfaces with distinct gradients.
+    xs = rng.uniform(-30, 30, 2500)
+    walls.append(np.column_stack([xs, np.full_like(xs, 8.0) + rng.normal(0, 0.05, xs.size),
+                                  rng.uniform(-1.5, 2.0, xs.size)]))
+    ys = rng.uniform(-8, 8, 2000)
+    walls.append(np.column_stack([np.full_like(ys, 20.0) + rng.normal(0, 0.05, ys.size), ys,
+                                  rng.uniform(-1.5, 2.0, ys.size)]))
+    posts_x = np.repeat(np.arange(-25, 26, 5.0), 60)
+    walls.append(np.column_stack([posts_x + rng.normal(0, 0.03, posts_x.size),
+                                  np.full_like(posts_x, -6.0) + rng.normal(0, 0.03, posts_x.size),
+                                  rng.uniform(-1.5, 1.5, posts_x.size)]))
+    return PointCloud(np.vstack(walls).astype(np.float32))
+
+
+class TestNDTMap:
+    def test_map_builds_voxels(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0))
+        assert len(ndt_map.voxels) > 10
+        assert ndt_map.tree.n_points == len(ndt_map.voxels)
+
+    def test_voxel_gaussians_are_valid(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0))
+        for voxel in ndt_map.voxels[:50]:
+            assert voxel.n_points >= ndt_map.config.min_points_per_voxel
+            eigvals = np.linalg.eigvalsh(voxel.covariance)
+            assert np.all(eigvals > 0)
+            identity = voxel.covariance @ voxel.inverse_covariance
+            np.testing.assert_allclose(identity, np.eye(3), atol=1e-6)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            NDTMap(PointCloud())
+
+    def test_sparse_map_without_voxels_rejected(self):
+        cloud = PointCloud(np.array([[0, 0, 0], [100, 100, 100]], dtype=np.float32))
+        with pytest.raises(ValueError):
+            NDTMap(cloud, NDTConfig(voxel_size=1.0, min_points_per_voxel=4))
+
+
+class TestNDTRegistration:
+    def test_recovers_small_translation(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0, max_iterations=25,
+                                                         max_scan_points=300))
+        matcher = NDTMatcher(ndt_map)
+        true_offset = np.array([0.4, -0.3, 0.0])
+        scan = structured_map_cloud.translated(-true_offset)
+        result = matcher.register(scan, initial_translation=(0.0, 0.0, 0.0))
+        np.testing.assert_allclose(result.translation[:2], true_offset[:2], atol=0.25)
+
+    def test_identity_registration_stays_near_zero(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0, max_iterations=10,
+                                                         max_scan_points=200))
+        matcher = NDTMatcher(ndt_map)
+        result = matcher.register(structured_map_cloud)
+        assert np.linalg.norm(result.translation) < 0.2
+
+    def test_search_stats_accumulate(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0, max_iterations=3,
+                                                         max_scan_points=100))
+        matcher = NDTMatcher(ndt_map)
+        matcher.register(structured_map_cloud)
+        stats = matcher.search_stats
+        assert stats.queries > 0
+        assert stats.points_examined > 0
+
+    def test_bonsai_matcher_gives_same_score_trajectory(self, structured_map_cloud):
+        config = NDTConfig(voxel_size=2.0, max_iterations=5, max_scan_points=150)
+        ndt_map = NDTMap(structured_map_cloud, config)
+        scan = structured_map_cloud.translated([-0.3, 0.2, 0.0])
+        baseline = NDTMatcher(ndt_map, use_bonsai=False).register(scan)
+        bonsai = NDTMatcher(NDTMap(structured_map_cloud, config), use_bonsai=True).register(scan)
+        # Radius search results are identical, so the optimisation trajectory is too.
+        np.testing.assert_allclose(bonsai.translation, baseline.translation, atol=1e-9)
+        assert bonsai.final_score == pytest.approx(baseline.final_score)
+
+    def test_result_fields(self, structured_map_cloud):
+        ndt_map = NDTMap(structured_map_cloud, NDTConfig(voxel_size=2.0, max_iterations=2,
+                                                         max_scan_points=80))
+        result = NDTMatcher(ndt_map).register(structured_map_cloud)
+        assert result.iterations >= 1
+        assert result.final_score > 0.0

@@ -1,0 +1,129 @@
+"""Tests of the procedural scenes and the synthetic LiDAR model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import HDL64E_RANGE_M, Lidar, LidarConfig, SceneConfig, make_urban_scene
+from repro.pointcloud.scene import Box, Obstacle, Scene
+
+
+class TestBox:
+    def test_min_max(self):
+        box = Box(center=(0, 0, 0), size=(2, 4, 6))
+        np.testing.assert_allclose(box.minimum, [-1, -2, -3])
+        np.testing.assert_allclose(box.maximum, [1, 2, 3])
+
+    def test_translated(self):
+        box = Box(center=(0, 0, 0), size=(1, 1, 1)).translated([5, 0, 0])
+        np.testing.assert_allclose(box.center, [5, 0, 0])
+
+    def test_surface_samples_on_surface(self):
+        box = Box(center=(0, 0, 0), size=(2, 2, 2))
+        rng = np.random.default_rng(0)
+        samples = box.sample_surface(rng, 200)
+        assert samples.shape == (200, 3)
+        # Every sample lies on (at least) one face of the box.
+        on_face = (
+            np.isclose(np.abs(samples[:, 0]), 1.0)
+            | np.isclose(np.abs(samples[:, 1]), 1.0)
+            | np.isclose(samples[:, 2], 1.0)
+        )
+        assert on_face.all()
+
+
+class TestObstacle:
+    def test_static_obstacle_does_not_move(self):
+        obstacle = Obstacle(Box(center=(1, 2, 3), size=(1, 1, 1)))
+        np.testing.assert_allclose(obstacle.at_time(10.0).center, [1, 2, 3])
+
+    def test_moving_obstacle_displaces_linearly(self):
+        obstacle = Obstacle(Box(center=(0, 0, 0), size=(1, 1, 1)), velocity=(2.0, 0.0, 0.0))
+        np.testing.assert_allclose(obstacle.at_time(3.0).center, [6, 0, 0])
+
+
+class TestUrbanScene:
+    def test_deterministic_for_same_seed(self):
+        a = make_urban_scene(SceneConfig(seed=5))
+        b = make_urban_scene(SceneConfig(seed=5))
+        assert len(a.obstacles) == len(b.obstacles)
+        np.testing.assert_allclose(a.obstacles[3].box.center, b.obstacles[3].box.center)
+
+    def test_different_seed_differs(self):
+        a = make_urban_scene(SceneConfig(seed=5))
+        b = make_urban_scene(SceneConfig(seed=6))
+        centers_a = np.array([o.box.center for o in a.obstacles])
+        centers_b = np.array([o.box.center for o in b.obstacles])
+        assert not np.allclose(centers_a, centers_b)
+
+    def test_contains_expected_object_classes(self):
+        scene = make_urban_scene(SceneConfig())
+        labels = set(scene.labels())
+        assert {"building", "vehicle", "pedestrian", "pole"} <= labels
+
+    def test_object_counts_follow_config(self):
+        config = SceneConfig(n_parked_vehicles=3, n_moving_vehicles=2, n_pedestrians=4)
+        scene = make_urban_scene(config)
+        assert scene.count_by_label("vehicle") == 5
+        assert scene.count_by_label("pedestrian") == 4
+
+    def test_boxes_at_time_moves_dynamic_actors(self):
+        scene = make_urban_scene(SceneConfig())
+        start = np.array([b.center for b in scene.boxes_at(0.0)])
+        later = np.array([b.center for b in scene.boxes_at(5.0)])
+        assert not np.allclose(start, later)
+
+
+class TestLidar:
+    def test_scan_produces_points(self, small_sequence):
+        cloud = small_sequence.frame(0)
+        assert len(cloud) > 1000
+
+    def test_points_within_sensor_range(self, small_sequence):
+        cloud = small_sequence.frame(0)
+        assert cloud.max_range() <= HDL64E_RANGE_M + 1.0
+
+    def test_min_range_respected(self):
+        scene = make_urban_scene(SceneConfig(seed=2))
+        lidar = Lidar(LidarConfig(n_beams=8, n_azimuth_steps=90, min_range=2.0,
+                                  range_noise_std=0.0))
+        cloud = lidar.scan(scene)
+        distances = np.linalg.norm(cloud.points.astype(np.float64), axis=1)
+        assert distances.min() >= 2.0 - 1e-6
+
+    def test_deterministic_given_frame_index(self):
+        scene = make_urban_scene(SceneConfig(seed=2))
+        lidar = Lidar(LidarConfig(n_beams=8, n_azimuth_steps=90, seed=7))
+        a = lidar.scan(scene, frame_index=3)
+        b = lidar.scan(scene, frame_index=3)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_frame_index_changes_noise(self):
+        scene = make_urban_scene(SceneConfig(seed=2))
+        lidar = Lidar(LidarConfig(n_beams=8, n_azimuth_steps=90, seed=7))
+        a = lidar.scan(scene, frame_index=0)
+        b = lidar.scan(scene, frame_index=1)
+        assert len(a) != len(b) or not np.allclose(a.points, b.points)
+
+    def test_n_rays(self):
+        lidar = Lidar(LidarConfig(n_beams=16, n_azimuth_steps=100))
+        assert lidar.n_rays == 1600
+
+    def test_ground_returns_present(self):
+        scene = Scene(obstacles=[], ground_z=-1.8)
+        lidar = Lidar(LidarConfig(n_beams=16, n_azimuth_steps=60, range_noise_std=0.0))
+        cloud = lidar.scan(scene)
+        assert len(cloud) > 0
+        assert np.allclose(cloud.points[:, 2], -1.8, atol=1e-3)
+
+    def test_box_occludes_ground(self):
+        # A large wall in front of the sensor should produce returns closer
+        # than the ground intersection along those rays.
+        wall = Obstacle(Box(center=(5.0, 0.0, 0.0), size=(0.5, 20.0, 10.0), label="wall"))
+        scene = Scene(obstacles=[wall], ground_z=-1.8)
+        lidar = Lidar(LidarConfig(n_beams=16, n_azimuth_steps=180, range_noise_std=0.0,
+                                  dropout_rate=0.0))
+        cloud = lidar.scan(scene)
+        forward = cloud.points[(np.abs(cloud.points[:, 1]) < 2.0) & (cloud.points[:, 0] > 0)]
+        assert forward[:, 0].max() <= 5.5

@@ -1,0 +1,88 @@
+"""Tests of driving-sequence generation and systematic sub-sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import (
+    DrivingSequence,
+    LidarConfig,
+    SceneConfig,
+    SequenceConfig,
+    default_sequence,
+    systematic_subsample,
+)
+
+
+class TestDrivingSequence:
+    def test_length_and_duration(self):
+        config = SequenceConfig(n_frames=20, frame_rate_hz=10.0)
+        sequence = DrivingSequence(config)
+        assert len(sequence) == 20
+        assert config.duration_s == pytest.approx(2.0)
+
+    def test_frame_timestamps_follow_rate(self, small_sequence):
+        f0 = small_sequence.frame(0)
+        f2 = small_sequence.frame(2)
+        assert f2.timestamp - f0.timestamp == pytest.approx(0.2)
+
+    def test_frames_differ_over_time(self, small_sequence):
+        a = small_sequence.frame(0)
+        b = small_sequence.frame(3)
+        assert len(a) != len(b) or not np.allclose(a.points, b.points)
+
+    def test_out_of_range_frame_rejected(self, small_sequence):
+        with pytest.raises(IndexError):
+            small_sequence.frame(len(small_sequence))
+
+    def test_frames_iterator_respects_indices(self, small_sequence):
+        frames = list(small_sequence.frames([0, 2]))
+        assert len(frames) == 2
+        assert frames[1].timestamp == pytest.approx(0.2)
+
+    def test_default_sequence_factory(self):
+        sequence = default_sequence(n_frames=3, n_beams=8, n_azimuth_steps=60)
+        assert len(sequence) == 3
+        assert len(sequence.frame(0)) > 0
+
+
+class TestSystematicSubsample:
+    def test_basic_sampling(self):
+        indices = systematic_subsample(n_frames=60, n_samples=4, sample_length=3)
+        assert len(indices) == 12
+        assert indices == sorted(indices)
+        assert all(0 <= i < 60 for i in indices)
+
+    def test_windows_are_contiguous(self):
+        indices = systematic_subsample(n_frames=100, n_samples=5, sample_length=4)
+        windows = [indices[i:i + 4] for i in range(0, len(indices), 4)]
+        for window in windows:
+            assert window == list(range(window[0], window[0] + 4))
+
+    def test_windows_equally_spaced(self):
+        indices = systematic_subsample(n_frames=100, n_samples=4, sample_length=2)
+        starts = indices[::2]
+        gaps = np.diff(starts)
+        assert gaps.max() - gaps.min() <= 1
+
+    def test_full_coverage_allowed(self):
+        indices = systematic_subsample(n_frames=12, n_samples=4, sample_length=3)
+        assert indices == list(range(12))
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_subsample(n_frames=10, n_samples=4, sample_length=3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_subsample(n_frames=10, n_samples=0, sample_length=3)
+        with pytest.raises(ValueError):
+            systematic_subsample(n_frames=10, n_samples=1, sample_length=0)
+
+    def test_paper_configuration(self):
+        """The paper uses 20 windows of 3 frames (300 ms at 10 Hz) from ~8 minutes."""
+        n_frames = 8 * 60 * 10
+        indices = systematic_subsample(n_frames, n_samples=20, sample_length=3)
+        assert len(indices) == 60
+        assert max(indices) < n_frames

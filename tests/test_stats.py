@@ -1,0 +1,79 @@
+"""Tests of the leaf sign/exponent similarity statistics (Section III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.floatfmt import FLOAT16, FLOAT32
+from repro.core.stats import LeafSimilarityStats, aggregate_similarity, leaf_similarity
+from repro.kdtree import build_kdtree
+
+
+class TestLeafSimilarity:
+    def test_counts_sum_correctly(self, random_tree):
+        stats = leaf_similarity(random_tree)
+        assert stats.n_leaves == random_tree.n_leaves
+        assert stats.n_points == random_tree.n_points
+        for coord in ("x", "y", "z"):
+            assert 0 <= stats.shared_per_coord[coord] <= stats.n_leaves
+        assert stats.fully_shared_leaves <= min(stats.shared_per_coord.values())
+
+    def test_share_rates_between_zero_and_one(self, random_tree):
+        stats = leaf_similarity(random_tree)
+        for rate in stats.share_rates.values():
+            assert 0.0 <= rate <= 1.0
+        assert 0.0 <= stats.fully_shared_rate <= 1.0
+
+    def test_lidar_frame_matches_paper_band(self, frame_tree):
+        """The paper reports 78% (x) and 83% (y) sharing on real frames."""
+        stats = leaf_similarity(frame_tree)
+        assert stats.share_rate("x") > 0.5
+        assert stats.share_rate("y") > 0.5
+
+    def test_tight_cluster_shares_everything(self):
+        rng = np.random.default_rng(3)
+        points = (np.array([40.0, 40.0, 3.0])
+                  + rng.normal(0.0, 0.05, size=(60, 3))).astype(np.float32)
+        tree = build_kdtree(points)
+        stats = leaf_similarity(tree)
+        assert stats.fully_shared_rate == 1.0
+
+    def test_wild_cloud_shares_little(self):
+        rng = np.random.default_rng(5)
+        signs = rng.choice([-1.0, 1.0], size=(300, 3))
+        magnitudes = np.exp(rng.uniform(np.log(0.01), np.log(100.0), size=(300, 3)))
+        tree = build_kdtree((signs * magnitudes).astype(np.float32))
+        stats = leaf_similarity(tree)
+        assert stats.fully_shared_rate < 0.3
+
+    def test_reduced_format_gives_similar_rates(self, frame_tree):
+        fp32_stats = leaf_similarity(frame_tree, FLOAT32)
+        fp16_stats = leaf_similarity(frame_tree, FLOAT16)
+        for coord in ("x", "y"):
+            assert abs(fp32_stats.share_rate(coord) - fp16_stats.share_rate(coord)) < 0.15
+
+    def test_empty_stats_rates_are_zero(self):
+        stats = LeafSimilarityStats()
+        assert stats.share_rate("x") == 0.0
+        assert stats.fully_shared_rate == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_over_trees(self, random_cloud, filtered_frame):
+        trees = [build_kdtree(random_cloud), build_kdtree(filtered_frame)]
+        individual = [leaf_similarity(t) for t in trees]
+        total = aggregate_similarity(trees)
+        assert total.n_leaves == sum(s.n_leaves for s in individual)
+        assert total.n_points == sum(s.n_points for s in individual)
+        assert total.shared_per_coord["x"] == sum(s.shared_per_coord["x"] for s in individual)
+
+    def test_aggregate_empty_iterable(self):
+        total = aggregate_similarity([])
+        assert total.n_leaves == 0
+
+    def test_merge_format_mismatch_rejected(self):
+        a = LeafSimilarityStats(format_name="ieee_fp32")
+        b = LeafSimilarityStats(format_name="ieee_fp16")
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,162 @@
+"""Tests of the timing, energy and area models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwmodel import (
+    TABLE_IV_CPU,
+    TABLE_V,
+    CPUConfig,
+    EnergyModel,
+    EnergyParameters,
+    KernelMetrics,
+    TimingModel,
+    estimate_bonsai_area,
+)
+from repro.hwmodel.cache import HierarchyStats
+
+
+def _metrics(instructions=1_000_000, loads=200_000, stores=50_000,
+             l1_accesses=250_000, l1_misses=5_000, l2_accesses=5_000,
+             l2_misses=1_000, memory_accesses=1_000):
+    return KernelMetrics(
+        instructions=instructions, loads=loads, stores=stores,
+        l1_accesses=l1_accesses, l1_misses=l1_misses, l2_accesses=l2_accesses,
+        l2_misses=l2_misses, memory_accesses=memory_accesses,
+    )
+
+
+class TestCPUConfig:
+    def test_table_iv_values(self):
+        assert TABLE_IV_CPU.frequency_hz == 3.0e9
+        assert TABLE_IV_CPU.fetch_width == 3
+        assert TABLE_IV_CPU.issue_width == 8
+        assert TABLE_IV_CPU.simd_width_bits == 128
+        assert TABLE_IV_CPU.l1d.size_bytes == 32 * 1024
+        assert TABLE_IV_CPU.l2.size_bytes == 1024 * 1024
+
+    def test_cycle_time(self):
+        assert TABLE_IV_CPU.cycle_time_s == pytest.approx(1 / 3.0e9)
+
+
+class TestTimingModel:
+    def test_cycles_increase_with_instructions(self):
+        model = TimingModel()
+        assert model.cycles(_metrics(instructions=2_000_000)) > \
+            model.cycles(_metrics(instructions=1_000_000))
+
+    def test_cycles_increase_with_misses(self):
+        model = TimingModel()
+        assert model.cycles(_metrics(l2_misses=50_000, memory_accesses=50_000)) > \
+            model.cycles(_metrics())
+
+    def test_breakdown_sums_to_total(self):
+        model = TimingModel()
+        metrics = _metrics()
+        breakdown = model.breakdown(metrics)
+        assert breakdown.total_cycles == pytest.approx(
+            breakdown.compute_cycles + breakdown.l2_stall_cycles
+            + breakdown.memory_stall_cycles
+        )
+        assert model.cycles(metrics) == pytest.approx(breakdown.total_cycles)
+
+    def test_seconds_follow_frequency(self):
+        metrics = _metrics()
+        fast = TimingModel(CPUConfig(frequency_hz=3.0e9))
+        slow = TimingModel(CPUConfig(frequency_hz=1.5e9))
+        assert slow.seconds(metrics) == pytest.approx(2 * fast.seconds(metrics))
+
+    def test_ipc_bounded_by_sustained_ipc(self):
+        model = TimingModel()
+        assert 0 < model.ipc(_metrics()) <= TABLE_IV_CPU.sustained_ipc
+
+    def test_ipc_zero_for_empty_kernel(self):
+        assert TimingModel().ipc(_metrics(instructions=0, l1_misses=0, l2_misses=0)) == 0.0
+
+    def test_from_hierarchy_constructor(self):
+        stats = HierarchyStats(l1_accesses=10, l1_misses=2, l2_accesses=2, l2_misses=1,
+                               memory_accesses=1)
+        metrics = KernelMetrics.from_hierarchy(100, 40, 10, stats)
+        assert metrics.l1_accesses == 10
+        assert metrics.memory_accesses == 1
+
+    def test_scaled(self):
+        metrics = _metrics().scaled(0.5)
+        assert metrics.instructions == 500_000
+        assert metrics.l1_accesses == 125_000
+
+
+class TestEnergyModel:
+    def test_total_is_sum_of_components(self):
+        model = EnergyModel()
+        breakdown = model.estimate(_metrics(), execution_time_s=0.01, bonsai_fu_ops=100)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.core_dynamic_j + breakdown.l1_j + breakdown.l2_j
+            + breakdown.dram_j + breakdown.bonsai_units_j + breakdown.static_j
+        )
+
+    def test_energy_scales_with_activity(self):
+        model = EnergyModel()
+        small = model.estimate(_metrics(), 0.01).total_j
+        big = model.estimate(_metrics(instructions=5_000_000, l1_accesses=1_000_000),
+                             0.01).total_j
+        assert big > small
+
+    def test_static_energy_scales_with_time(self):
+        model = EnergyModel()
+        assert model.estimate(_metrics(), 0.02).static_j == \
+            pytest.approx(2 * model.estimate(_metrics(), 0.01).static_j)
+
+    def test_bonsai_fu_energy_is_small_overhead(self):
+        """Table V: the added units contribute ~1% of dynamic power."""
+        model = EnergyModel()
+        with_fu = model.estimate(_metrics(), 0.01, bonsai_fu_ops=10_000)
+        assert with_fu.bonsai_units_j < 0.05 * with_fu.total_j
+
+    def test_custom_parameters(self):
+        params = EnergyParameters(energy_per_instruction_j=1e-9)
+        model = EnergyModel(params)
+        assert model.estimate(_metrics(), 0.0).core_dynamic_j == pytest.approx(1e-3)
+
+
+class TestTableV:
+    def test_paper_totals(self):
+        total = TABLE_V.bonsai_total
+        assert total.area_mm2 == pytest.approx(0.0511)
+        assert total.dynamic_power_w == pytest.approx(0.0239, abs=1e-3)
+
+    def test_relative_overheads_match_paper(self):
+        assert TABLE_V.relative_area_increase == pytest.approx(0.0036, abs=5e-4)
+        assert TABLE_V.relative_dynamic_power_increase == pytest.approx(0.0129, abs=2e-3)
+
+
+class TestAreaModel:
+    def test_estimate_structure(self):
+        estimates = estimate_bonsai_area()
+        assert set(estimates) >= {"compression_unit", "square_diff_fus",
+                                  "total_area_mm2", "total_dynamic_power_w"}
+
+    def test_total_is_sum_of_units(self):
+        estimates = estimate_bonsai_area()
+        assert estimates["total_area_mm2"] == pytest.approx(
+            estimates["compression_unit"].area_mm2 + estimates["square_diff_fus"].area_mm2
+        )
+
+    def test_magnitude_matches_paper_order(self):
+        """The bottom-up estimate must land in the same order of magnitude as
+        the paper's synthesis results (hundredths of mm^2, well below 1% of
+        the 14.26 mm^2 core)."""
+        estimates = estimate_bonsai_area()
+        total = estimates["total_area_mm2"]
+        assert 0.005 < total < 0.5
+        assert total / TABLE_V.processor.area_mm2 < 0.03
+
+    def test_area_scales_with_fu_count(self):
+        one = estimate_bonsai_area(n_fus=1)["square_diff_fus"].area_mm2
+        four = estimate_bonsai_area(n_fus=4)["square_diff_fus"].area_mm2
+        assert four == pytest.approx(4 * one)
+
+    def test_power_far_below_core(self):
+        estimates = estimate_bonsai_area()
+        assert estimates["total_dynamic_power_w"] < 0.2 * TABLE_V.processor.dynamic_power_w

@@ -1,0 +1,135 @@
+"""Tests of the cluster tracker (frame-to-frame association)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import ClusterTracker, TrackerConfig
+from repro.perception.cluster_filter import DetectedObject
+from repro.pointcloud.cloud import BoundingBox
+
+
+def _detection(cluster_id: int, center, label: str = "vehicle",
+               size=(4.0, 2.0, 1.6)) -> DetectedObject:
+    center = np.asarray(center, dtype=np.float64)
+    half = 0.5 * np.asarray(size, dtype=np.float64)
+    return DetectedObject(
+        cluster_id=cluster_id,
+        centroid=center,
+        bbox=BoundingBox(center - half, center + half),
+        n_points=50,
+        label=label,
+    )
+
+
+class TestTrackLifecycle:
+    def test_new_detections_spawn_tentative_tracks(self):
+        tracker = ClusterTracker()
+        confirmed = tracker.update([_detection(0, (10, 0, 0))], timestamp=0.0)
+        assert confirmed == []
+        assert len(tracker.tracks) == 1
+        assert not tracker.tracks[0].confirmed
+
+    def test_track_confirmed_after_enough_hits(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=2))
+        tracker.update([_detection(0, (10, 0, 0))], timestamp=0.0)
+        confirmed = tracker.update([_detection(0, (10.1, 0, 0))], timestamp=0.1)
+        assert len(confirmed) == 1
+        assert confirmed[0].hits == 2
+
+    def test_track_dropped_after_misses(self):
+        tracker = ClusterTracker(TrackerConfig(max_misses=2))
+        tracker.update([_detection(0, (10, 0, 0))], timestamp=0.0)
+        for step in range(1, 4):
+            tracker.update([], timestamp=0.1 * step)
+        assert tracker.tracks == []
+
+    def test_track_survives_single_miss(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, max_misses=2))
+        tracker.update([_detection(0, (10, 0, 0))], timestamp=0.0)
+        tracker.update([], timestamp=0.1)
+        confirmed = tracker.update([_detection(0, (10.2, 0, 0))], timestamp=0.2)
+        assert len(confirmed) == 1
+        assert len(tracker.tracks) == 1
+
+    def test_track_ids_are_stable_and_unique(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1))
+        tracker.update([_detection(0, (0, 0, 0)), _detection(1, (20, 0, 0))], timestamp=0.0)
+        ids_first = sorted(t.track_id for t in tracker.tracks)
+        tracker.update([_detection(0, (0.2, 0, 0)), _detection(1, (20.2, 0, 0))],
+                       timestamp=0.1)
+        ids_second = sorted(t.track_id for t in tracker.tracks)
+        assert ids_first == ids_second
+        assert len(set(ids_first)) == 2
+
+
+class TestAssociation:
+    def test_detections_associated_to_nearest_track(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1))
+        tracker.update([_detection(0, (0, 0, 0)), _detection(1, (10, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (0.3, 0, 0)), _detection(1, (10.3, 0, 0))],
+                       timestamp=0.1)
+        centroids = sorted(t.centroid[0] for t in tracker.tracks)
+        assert centroids == pytest.approx([0.3, 10.3])
+        assert len(tracker.tracks) == 2
+
+    def test_gating_prevents_wild_association(self):
+        tracker = ClusterTracker(TrackerConfig(gating_distance=1.0, confirmation_hits=1))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (30, 0, 0))], timestamp=0.1)
+        # The far detection spawns a new track instead of teleporting the old one.
+        assert len(tracker.tracks) == 2
+
+    def test_each_detection_used_once(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, gating_distance=5.0))
+        tracker.update([_detection(0, (0, 0, 0)), _detection(1, (1.0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (0.5, 0, 0))], timestamp=0.1)
+        hit_counts = sorted(t.hits for t in tracker.tracks)
+        assert hit_counts == [1, 2]
+
+
+class TestVelocityEstimation:
+    def test_constant_velocity_recovered(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, velocity_smoothing=1.0))
+        speed = 5.0
+        dt = 0.1
+        for step in range(5):
+            tracker.update([_detection(0, (speed * dt * step, 0, 0))], timestamp=dt * step)
+        track = tracker.tracks[0]
+        assert track.velocity[0] == pytest.approx(speed, rel=0.05)
+        assert track.speed == pytest.approx(speed, rel=0.05)
+
+    def test_prediction_follows_velocity(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, velocity_smoothing=1.0))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (1.0, 0, 0))], timestamp=1.0)
+        track = tracker.tracks[0]
+        assert track.predict(1.0)[0] == pytest.approx(2.0, rel=0.05)
+
+    def test_stationary_object_near_zero_velocity(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1))
+        for step in range(4):
+            tracker.update([_detection(0, (10.0, 5.0, 0.0))], timestamp=0.1 * step)
+        assert tracker.tracks[0].speed < 1e-9
+
+
+class TestOnClusteringOutput:
+    def test_tracking_over_synthetic_sequence(self, small_sequence):
+        """End-to-end: cluster each frame, track detections across frames."""
+        from repro.perception import ClusterConfig, EuclideanClusterExtractor, label_clusters
+        from repro.pointcloud import preprocess_for_clustering
+
+        tracker = ClusterTracker(TrackerConfig(gating_distance=3.0, confirmation_hits=2))
+        extractor = EuclideanClusterExtractor(ClusterConfig(tolerance=0.6, min_cluster_size=5),
+                                              use_bonsai=True)
+        confirmed_history = []
+        for index in range(len(small_sequence)):
+            cloud = preprocess_for_clustering(small_sequence.frame(index))
+            result = extractor.extract(cloud)
+            detections = label_clusters(cloud, result.clusters)
+            confirmed = tracker.update(detections, timestamp=index * 0.1)
+            confirmed_history.append(len(confirmed))
+        # After the first couple of frames, persistent scene objects are tracked.
+        assert confirmed_history[-1] > 0
+        assert max(t.age for t in tracker.tracks) >= 2
