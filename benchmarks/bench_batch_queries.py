@@ -1,0 +1,86 @@
+"""Engineering benchmark — the batched query engine vs. the per-query loop.
+
+Not a paper figure: this benchmark guards the performance contract of
+:mod:`repro.runtime`.  A 10k-query sweep over one preprocessed LiDAR frame
+must run at least 5x faster through the batched engine than through the
+per-query reference paths, for radius search and for kNN, while returning
+identical results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.kdtree import build_kdtree, nearest_neighbors, radius_search
+from repro.pointcloud import preprocess_for_clustering
+from repro.runtime import batch_knn, batch_radius_search
+
+from paper_reference import write_result
+
+N_QUERIES = 10_000
+RADIUS = 0.6
+K = 5
+
+
+@pytest.fixture(scope="module")
+def sweep_setup(bench_sequence):
+    cloud = preprocess_for_clustering(bench_sequence.frame(0))
+    tree = build_kdtree(cloud)
+    rng = np.random.default_rng(31)
+    base = cloud.points[rng.integers(0, len(cloud), N_QUERIES)]
+    queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
+    return tree, queries
+
+
+def test_batch_radius_speedup(benchmark, sweep_setup):
+    """Batched radius sweep: >= 5x over the per-query loop, identical results."""
+    tree, queries = sweep_setup
+
+    result = benchmark.pedantic(
+        batch_radius_search, args=(tree, queries, RADIUS), rounds=1, iterations=1)
+    batch_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    single = [sorted(radius_search(tree, q, RADIUS)) for q in queries]
+    loop_seconds = time.perf_counter() - start
+
+    assert result.as_lists() == single
+    speedup = loop_seconds / batch_seconds
+    write_result("batch_radius_sweep", render_table(
+        ("Path", "Time [s]", "Queries/s"),
+        (("per-query loop", f"{loop_seconds:.3f}", f"{N_QUERIES / loop_seconds:,.0f}"),
+         ("batched engine", f"{batch_seconds:.3f}", f"{N_QUERIES / batch_seconds:,.0f}"),
+         ("speed-up", f"{speedup:.1f}x", "")),
+        title=f"Batched radius sweep - {N_QUERIES} queries, r={RADIUS} m",
+    ))
+    assert speedup >= 5.0
+
+
+def test_batch_knn_speedup(benchmark, sweep_setup):
+    """Batched kNN sweep: >= 5x over the per-query loop, identical results."""
+    tree, queries = sweep_setup
+
+    result = benchmark.pedantic(
+        batch_knn, args=(tree, queries, K), rounds=1, iterations=1)
+    batch_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    single = [nearest_neighbors(tree, q, K) for q in queries]
+    loop_seconds = time.perf_counter() - start
+
+    batch_lists = result.as_lists()
+    for expected, got in zip(single, batch_lists):
+        assert [i for i, _ in expected] == [i for i, _ in got]
+    speedup = loop_seconds / batch_seconds
+    write_result("batch_knn_sweep", render_table(
+        ("Path", "Time [s]", "Queries/s"),
+        (("per-query loop", f"{loop_seconds:.3f}", f"{N_QUERIES / loop_seconds:,.0f}"),
+         ("batched engine", f"{batch_seconds:.3f}", f"{N_QUERIES / batch_seconds:,.0f}"),
+         ("speed-up", f"{speedup:.1f}x", "")),
+        title=f"Batched kNN sweep - {N_QUERIES} queries, k={K}",
+    ))
+    assert speedup >= 5.0

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_boxplot_figure
+from repro.workloads import EuclideanClusterPipeline, PipelineConfig
 
 from paper_reference import PAPER, write_result
 
@@ -55,3 +56,27 @@ def test_fig11_end_to_end_frame(benchmark, pipeline, bench_sequence):
         return pipeline.run_frame(cloud, use_bonsai=False).end_to_end_seconds
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) > 0
+
+
+def test_fig11_batched_engine_matches_functional_counters(benchmark, pipeline,
+                                                          bench_sequence):
+    """The batched query engine serves the same frame with identical stats.
+
+    With cache simulation disabled the extract kernel runs its cluster growth
+    through :mod:`repro.runtime` (one batched radius query per BFS wave).
+    The functional search counters that drive the latency model must be
+    identical to the per-query trace-driven run.
+    """
+    cloud = bench_sequence.frame(0)
+    batched_pipeline = EuclideanClusterPipeline(PipelineConfig(simulate_caches=False))
+
+    batched = benchmark.pedantic(
+        batched_pipeline.run_frame, args=(cloud,), kwargs={"use_bonsai": False},
+        rounds=1, iterations=1)
+    reference = pipeline.run_frame(cloud, use_bonsai=False)
+
+    assert batched.n_clusters == reference.n_clusters
+    for attribute in ("queries", "leaves_visited", "interior_visited",
+                      "points_examined", "points_in_radius", "point_bytes_loaded"):
+        assert getattr(batched.search_stats, attribute) == \
+            getattr(reference.search_stats, attribute)

@@ -6,6 +6,10 @@ radius-search bound (Figure 2).  This benchmark quantifies that claim with
 the same methodology as the euclidean-cluster comparison: it registers a few
 scans against a map with the baseline and the Bonsai search and reports the
 relative change of bytes, loads, time and energy.
+
+Both configurations issue their radius queries through the batched engine
+(:mod:`repro.runtime`): every NDT iteration sends all scan points as one
+batched query, whose statistics aggregate exactly as per-query searches.
 """
 
 from __future__ import annotations
@@ -77,3 +81,18 @@ def test_ndt_registration_kernel(benchmark, bench_sequence):
         return pipeline.register_scan(scan, initial_translation=(0.5, 0.0, 0.0)).iterations
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) >= 1
+
+
+def test_ndt_queries_served_by_batched_engine(benchmark, bench_sequence):
+    """Each NDT iteration issues one batched query covering all scan points."""
+    from repro.runtime import BatchQueryEngine
+
+    pipeline = NDTLocalizationPipeline(bench_sequence.frame(0), use_bonsai=False)
+    assert isinstance(pipeline.matcher._engine, BatchQueryEngine)  # noqa: SLF001
+    measurement = benchmark.pedantic(
+        pipeline.register_scan, args=(bench_sequence.frame(1),),
+        kwargs={"initial_translation": (0.5, 0.0, 0.0)}, rounds=1, iterations=1)
+    stats = pipeline.matcher.search_stats
+    # One query per (scan point, iteration) pair, batched per iteration.
+    assert stats.queries > 0
+    assert stats.queries % measurement.iterations == 0

@@ -15,6 +15,9 @@ Subpackages
     Point cloud containers, synthetic LiDAR and driving scenes, filters, I/O.
 ``repro.kdtree``
     PCL/FLANN-style leaf-based k-d tree, baseline radius search, kNN.
+``repro.runtime``
+    Batched, vectorised query engine: many queries per traversal, shared
+    leaf-distance kernels, exact parity with the per-query paths.
 ``repro.perception``
     Euclidean cluster extraction and a simplified NDT registration.
 ``repro.isa``
@@ -26,8 +29,65 @@ Subpackages
     Autoware-like pipelines, execution-share profiling and sub-sampling.
 ``repro.analysis``
     Metrics, baseline-vs-Bonsai comparison and report rendering.
+
+Top-level exports
+-----------------
+The most common entry points re-export lazily (PEP 562) at the package root,
+so ``import repro`` stays cheap while scripts can write ``repro.build_kdtree``
+instead of spelling out the subpackage:
+
+``build_kdtree(cloud_or_points, config=None)``
+    Build the PCL/FLANN-style leaf-based k-d tree
+    (:func:`repro.kdtree.build.build_kdtree`).
+``radius_search(tree, query, radius, ...)``
+    Single-query baseline radius search
+    (:func:`repro.kdtree.radius_search.radius_search`).
+``nearest_neighbors(tree, query, k, ...)``
+    Single-query kNN (:func:`repro.kdtree.knn.nearest_neighbors`).
+``batch_radius_search(tree, queries, radius, stats=None)``
+    Batched radius search over the vectorised engine
+    (:func:`repro.runtime.batch.batch_radius_search`).
+``batch_knn(tree, queries, k, stats=None)``
+    Batched kNN (:func:`repro.runtime.batch.batch_knn`).
+``BatchQueryEngine`` / ``BonsaiBatchSearcher``
+    Reusable batched engines, baseline and compressed
+    (:mod:`repro.runtime`).
+``BonsaiRadiusSearch``
+    Compress a tree once and issue per-query Bonsai searches
+    (:class:`repro.core.bonsai_search.BonsaiRadiusSearch`).
+``SearchStats``
+    Functional search counters shared by every query path
+    (:class:`repro.kdtree.radius_search.SearchStats`).
 """
 
-__version__ = "1.0.0"
+from importlib import import_module
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: Lazy export table: public name -> defining submodule.
+_EXPORTS = {
+    "build_kdtree": "repro.kdtree",
+    "radius_search": "repro.kdtree",
+    "nearest_neighbors": "repro.kdtree",
+    "SearchStats": "repro.kdtree",
+    "batch_radius_search": "repro.runtime",
+    "batch_knn": "repro.runtime",
+    "BatchQueryEngine": "repro.runtime",
+    "BonsaiBatchSearcher": "repro.runtime",
+    "BonsaiRadiusSearch": "repro.core",
+}
+
+__all__ = ["__version__"] + sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -13,6 +13,11 @@ The CLI exposes the most common flows without writing Python:
 ``python -m repro compare``
     Run the baseline-vs-Bonsai pipeline over a few frames and print the
     Figure 9/11/12-style summary.
+``python -m repro batch-sweep``
+    Run a batched radius/kNN query sweep over one frame through the
+    vectorised engine (:mod:`repro.runtime`) and report throughput, search
+    statistics and — with ``--compare-loop`` — the speed-up over the
+    per-query reference paths.
 """
 
 from __future__ import annotations
@@ -63,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="baseline vs Bonsai summary over a few frames")
     compare.add_argument("--frames", type=int, default=4, help="number of frames")
     compare.add_argument("--seed", type=int, default=7, help="scene random seed")
+
+    sweep = subparsers.add_parser(
+        "batch-sweep", help="run a batched query sweep through the vectorised engine")
+    sweep.add_argument("--frame", type=int, default=0, help="frame index")
+    sweep.add_argument("--seed", type=int, default=7, help="scene random seed")
+    sweep.add_argument("--queries", type=int, default=10000,
+                       help="number of queries in the sweep")
+    sweep.add_argument("--radius", type=float, default=0.6, help="search radius [m]")
+    sweep.add_argument("--k", type=int, default=5, help="neighbours per kNN query")
+    sweep.add_argument("--engine", choices=("baseline", "bonsai"), default="baseline",
+                       help="leaf engine for the radius sweep")
+    sweep.add_argument("--compare-loop", action="store_true",
+                       help="also time the per-query reference loop and print the speed-up")
 
     return parser
 
@@ -163,11 +181,72 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from .kdtree import build_kdtree, nearest_neighbors, radius_search
+    from .pointcloud import preprocess_for_clustering
+    from .runtime import BatchQueryEngine, BonsaiBatchSearcher
+    from .core import BonsaiRadiusSearch
+
+    sequence = _sequence(args.frame + 1, args.seed)
+    cloud = preprocess_for_clustering(sequence.frame(args.frame))
+    tree = build_kdtree(cloud)
+
+    rng = np.random.default_rng(args.seed * 13 + 1)
+    base = cloud.points[rng.integers(0, len(cloud), args.queries)]
+    queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
+
+    use_bonsai = args.engine == "bonsai"
+    engine = BonsaiBatchSearcher(tree) if use_bonsai else BatchQueryEngine(tree)
+    knn_engine = BatchQueryEngine(tree)
+
+    start = time.perf_counter()
+    radius_result = engine.radius_search(queries, args.radius)
+    radius_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    knn_result = knn_engine.knn(queries, args.k)
+    knn_seconds = time.perf_counter() - start
+
+    n_queries = max(args.queries, 0)
+    mean_neighbors = radius_result.counts.mean() if n_queries else 0.0
+    mean_nearest = knn_result.distances[:, 0].mean() if n_queries else 0.0
+    print(f"frame {args.frame}: {len(cloud)} points, {tree.n_leaves} leaves, "
+          f"{n_queries} queries ({args.engine} engine)")
+    print(f"  radius {args.radius} m: {radius_result.total_matches} matches, "
+          f"{mean_neighbors:.1f} neighbours/query, "
+          f"{n_queries / radius_seconds:,.0f} queries/s")
+    print(f"  knn k={args.k}: mean nearest distance {mean_nearest:.3f} m, "
+          f"{n_queries / knn_seconds:,.0f} queries/s")
+    stats = engine.stats
+    print(f"  stats: {stats.leaves_visited / max(stats.queries, 1):.1f} leaf visits/query, "
+          f"{stats.points_examined} points examined, "
+          f"{stats.point_bytes_loaded} B of leaf points loaded")
+
+    if args.compare_loop:
+        single_search = BonsaiRadiusSearch(tree).search if use_bonsai else (
+            lambda q, r: radius_search(tree, q, r))
+        start = time.perf_counter()
+        for query in queries:
+            single_search(query, args.radius)
+        loop_radius_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for query in queries:
+            nearest_neighbors(tree, query, args.k)
+        loop_knn_seconds = time.perf_counter() - start
+        print(f"  per-query loop: radius {args.queries / loop_radius_seconds:,.0f} queries/s "
+              f"(batched is {loop_radius_seconds / radius_seconds:.1f}x faster), "
+              f"knn {args.queries / loop_knn_seconds:,.0f} queries/s "
+              f"(batched is {loop_knn_seconds / knn_seconds:.1f}x faster)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
     "cluster": _cmd_cluster,
     "compare": _cmd_compare,
+    "batch-sweep": _cmd_batch_sweep,
 }
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..kdtree.build import KDTree
 from ..kdtree.node import Node
 from ..kdtree.radius_search import SearchStats
+from ..runtime.kernels import reduced_precision_max_delta, shell_error_bound
 from .compressed_leaf import CompressedStructArray, compress_tree
 from .floatfmt import FLOAT16, FloatFormat
 from .leaf_compression import ZIPPTS_SLICE_BYTES, decompress_leaf
@@ -118,7 +119,7 @@ class BonsaiNearestNeighbors:
         diffs = query - reduced
         sq = diffs * diffs
         d2_approx = sq.sum(axis=1)
-        eps = (2.0 * np.abs(diffs) * max_delta + max_delta * max_delta).sum(axis=1)
+        eps = shell_error_bound(np.abs(diffs), max_delta)
         lower_bounds = np.maximum(d2_approx - eps, 0.0)
 
         self.stats.points_screened += leaf.n_points
@@ -127,7 +128,7 @@ class BonsaiNearestNeighbors:
                 continue  # cannot beat the current k-th best; no exact fetch needed
             self.stats.exact_fetches += 1
             self.stats.exact_bytes_loaded += 16
-            original = self.tree.points[int(point_index)].astype(np.float64)
+            original = self.tree.points_f64[int(point_index)]
             diff = query - original
             d2 = float(diff @ diff)
             if len(heap) < k:
@@ -140,12 +141,7 @@ class BonsaiNearestNeighbors:
         if cached is not None:
             return cached, self._error_cache[leaf_id]
         reduced = decompress_leaf(self.array.get(leaf_id), self.fmt)
-        fmt = self.fmt
-        magnitude = np.abs(reduced)
-        with np.errstate(divide="ignore"):
-            exponent = np.floor(np.log2(np.where(magnitude > 0, magnitude, fmt.min_normal)))
-        exponent = np.clip(exponent, 1 - fmt.bias, fmt.max_biased_exponent - fmt.bias)
-        max_delta = np.power(2.0, exponent) * 2.0 ** (-(fmt.mantissa_bits + 1))
+        max_delta = reduced_precision_max_delta(reduced, self.fmt)
         self._decoded_cache[leaf_id] = reduced
         self._error_cache[leaf_id] = max_delta
         return reduced, max_delta

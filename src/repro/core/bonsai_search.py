@@ -29,6 +29,12 @@ from ..kdtree.build import KDTree
 from ..kdtree.layout import POINT_STRIDE_BYTES, TreeMemoryLayout
 from ..kdtree.node import LeafNode
 from ..kdtree.radius_search import MemoryRecorder, SearchStats
+from ..runtime.kernels import (
+    leaf_distances2,
+    reduced_precision_max_delta,
+    shell_classify,
+    shell_error_bound,
+)
 from .compressed_leaf import CompressedRef, CompressedStructArray, compress_tree
 from .error_model import PartErrorTable
 from .floatfmt import FLOAT16, FloatFormat
@@ -136,13 +142,11 @@ class BonsaiLeafInspector:
         diffs = query - reduced
         sq = diffs * diffs
         d2_approx = sq.sum(axis=1)
-        eps = (2.0 * np.abs(diffs) * max_delta + max_delta * max_delta).sum(axis=1)
+        eps = shell_error_bound(np.abs(diffs), max_delta)
 
         self.bonsai_stats.points_classified += leaf.n_points
 
-        conclusive_in = d2_approx <= r2 - eps
-        conclusive_out = d2_approx > r2 + eps
-        inconclusive = ~(conclusive_in | conclusive_out)
+        conclusive_in, conclusive_out, inconclusive = shell_classify(d2_approx, eps, r2)
 
         self.bonsai_stats.conclusive_in += int(conclusive_in.sum())
         self.bonsai_stats.conclusive_out += int(conclusive_out.sum())
@@ -161,7 +165,7 @@ class BonsaiLeafInspector:
             if recorder is not None and layout is not None:
                 recorder.record_load(layout.point_address(int(point_index)),
                                      POINT_STRIDE_BYTES)
-            original = tree.points[int(point_index)].astype(np.float64)
+            original = tree.points_f64[int(point_index)]
             diff = query - original
             if float(diff @ diff) <= r2:
                 results.append(int(point_index))
@@ -195,18 +199,11 @@ class BonsaiLeafInspector:
         decoded magnitudes: for normal numbers ``2**(e - bias - (m+1))`` equals
         half a ULP of the binade the value lies in.
         """
-        fmt = self.fmt
-        magnitude = np.abs(reduced)
-        # Biased exponent of each reduced value; zeros/subnormals use binade 1.
-        with np.errstate(divide="ignore"):
-            exponent = np.floor(np.log2(np.where(magnitude > 0, magnitude, fmt.min_normal)))
-        exponent = np.clip(exponent, 1 - fmt.bias, fmt.max_biased_exponent - fmt.bias)
-        return np.power(2.0, exponent) * 2.0 ** (-(fmt.mantissa_bits + 1))
+        return reduced_precision_max_delta(reduced, self.fmt)
 
     def _baseline_inspect(self, tree, leaf, query, r2, results, stats, recorder, layout):
-        points = tree.points[leaf.indices].astype(np.float64)
-        diffs = points - query
-        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        points = tree.points_f64[leaf.indices]
+        d2 = leaf_distances2(points, query)
         inside = d2 <= r2
         stats.points_examined += leaf.n_points
         stats.points_in_radius += int(inside.sum())

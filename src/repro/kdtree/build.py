@@ -63,6 +63,7 @@ class KDTree:
     def __init__(self, points: np.ndarray, root: Node, config: KDTreeConfig,
                  stats: KDTreeStats, leaves: List[LeafNode]):
         self._points = points
+        self._points_f64: Optional[np.ndarray] = None
         self.root = root
         self.config = config
         self.stats = stats
@@ -75,6 +76,18 @@ class KDTree:
     def points(self) -> np.ndarray:
         """The ``(N, 3)`` float32 point array the tree indexes."""
         return self._points
+
+    @property
+    def points_f64(self) -> np.ndarray:
+        """Float64 view of the point array, converted once and cached.
+
+        Every leaf inspection computes distances in float64; converting the
+        float32 storage once per tree (instead of once per leaf visit) removes
+        a per-visit copy from the search hot paths.
+        """
+        if self._points_f64 is None:
+            self._points_f64 = self._points.astype(np.float64)
+        return self._points_f64
 
     @property
     def n_points(self) -> int:

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime.kernels import leaf_distances2
 from .build import KDTree
 from .node import Node
 from .radius_search import SearchStats
@@ -52,9 +53,8 @@ def nearest_neighbors(
     def visit(node: Node) -> None:
         if node.is_leaf:
             stats.note_leaf_visit(node.leaf_id)
-            points = tree.points[node.indices].astype(np.float64)
-            diffs = points - query_arr
-            d2 = np.einsum("ij,ij->i", diffs, diffs)
+            points = tree.points_f64[node.indices]
+            d2 = leaf_distances2(points, query_arr)
             stats.points_examined += node.n_points
             for point_index, dist2 in zip(node.indices, d2):
                 if len(heap) < k:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..runtime.kernels import leaf_distances2
 from .build import KDTree
 from .layout import POINT_STRIDE_BYTES, NODE_RECORD_BYTES, TreeMemoryLayout
 from .node import LeafNode, Node
@@ -61,6 +62,18 @@ class SearchStats:
         """Record one visit to ``leaf_id``."""
         self.leaves_visited += 1
         self.leaf_visit_counts[leaf_id] = self.leaf_visit_counts.get(leaf_id, 0) + 1
+
+    def note_leaf_visit_batch(self, leaf_id: int, n_queries: int) -> None:
+        """Record ``n_queries`` simultaneous visits to ``leaf_id``.
+
+        Used by the batched engine (:mod:`repro.runtime`): one batched leaf
+        inspection on behalf of ``n_queries`` queries counts exactly like
+        ``n_queries`` single-query visits, so batched and per-query statistics
+        aggregate identically.
+        """
+        self.leaves_visited += n_queries
+        self.leaf_visit_counts[leaf_id] = (
+            self.leaf_visit_counts.get(leaf_id, 0) + n_queries)
 
     @property
     def mean_visits_per_leaf(self) -> float:
@@ -107,9 +120,8 @@ class Float32LeafInspector:
     """
 
     def inspect(self, tree, leaf, query, r2, results, stats, recorder, layout) -> None:
-        points = tree.points[leaf.indices].astype(np.float64)
-        diffs = points - query
-        d2 = np.einsum("ij,ij->i", diffs, diffs)
+        points = tree.points_f64[leaf.indices]
+        d2 = leaf_distances2(points, query)
         inside = d2 <= r2
 
         stats.points_examined += leaf.n_points

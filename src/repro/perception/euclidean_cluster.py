@@ -25,6 +25,8 @@ from ..kdtree.build import KDTree, KDTreeConfig, build_kdtree
 from ..kdtree.layout import TreeMemoryLayout
 from ..kdtree.radius_search import MemoryRecorder, RadiusSearcher, SearchStats
 from ..pointcloud.cloud import BoundingBox, PointCloud
+from ..runtime.batch import BatchQueryEngine, BatchRadiusResult
+from ..runtime.bonsai import BonsaiBatchSearcher
 
 __all__ = ["Cluster", "ClusterConfig", "ClusterResult", "EuclideanClusterExtractor"]
 
@@ -92,12 +94,23 @@ class EuclideanClusterExtractor:
         self.recorder = recorder
 
     def extract(self, cloud: PointCloud) -> ClusterResult:
-        """Build the tree, grow clusters and return the filtered result."""
+        """Build the tree, grow clusters and return the filtered result.
+
+        Without a memory recorder the cluster growth runs wave-by-wave on the
+        batched query engine (:mod:`repro.runtime`): every BFS frontier is
+        issued as one batched radius query.  With a recorder attached the
+        per-query path is kept, because the trace-driven cache simulation
+        depends on the exact order of the recorded memory accesses.  Both
+        paths produce identical clusters and search statistics.
+        """
         if cloud.is_empty:
             return ClusterResult(clusters=[], n_points=0, search_stats=SearchStats(),
                                  tree=None)  # type: ignore[arg-type]
         tree = build_kdtree(cloud, KDTreeConfig(max_leaf_size=self.config.max_leaf_size))
         layout = TreeMemoryLayout(n_points=tree.n_points)
+
+        if self.recorder is None:
+            return self._extract_batched(cloud, tree)
 
         bonsai: Optional[BonsaiRadiusSearch] = None
         if self.use_bonsai:
@@ -118,9 +131,66 @@ class EuclideanClusterExtractor:
             bonsai=bonsai,
         )
 
+    def _extract_batched(self, cloud: PointCloud, tree: KDTree) -> ClusterResult:
+        """Cluster growth over the batched engine (no memory recorder)."""
+        if self.use_bonsai:
+            engine = BonsaiBatchSearcher(tree)
+        else:
+            engine = BatchQueryEngine(tree)
+        clusters = self._grow_clusters_batched(cloud, engine.radius_search)
+        return ClusterResult(
+            clusters=clusters,
+            n_points=len(cloud),
+            search_stats=engine.stats,
+            tree=tree,
+            bonsai=engine if self.use_bonsai else None,
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _grow_clusters_batched(
+            self, cloud: PointCloud,
+            batch_search: Callable[[np.ndarray, float], BatchRadiusResult],
+    ) -> List[Cluster]:
+        """Grow clusters wave-by-wave: one batched query per BFS frontier.
+
+        Produces the same clusters as the per-query loop — euclidean
+        clustering computes the connected components of the fixed-radius
+        graph, which are independent of the search order — with every point
+        still searched exactly once, so the statistics aggregate identically.
+        """
+        n = len(cloud)
+        points = cloud.points
+        processed = np.zeros(n, dtype=bool)
+        clusters: List[Cluster] = []
+        tolerance = self.config.tolerance
+
+        for seed in range(n):
+            if processed[seed]:
+                continue
+            processed[seed] = True
+            members = [seed]
+            frontier = np.array([seed], dtype=np.intp)
+            while frontier.size:
+                result = batch_search(points[frontier], tolerance)
+                neighbors = np.unique(result.point_indices)
+                fresh = neighbors[~processed[neighbors]]
+                processed[fresh] = True
+                members.extend(fresh.tolist())
+                frontier = fresh
+            if self.config.min_cluster_size <= len(members) <= self.config.max_cluster_size:
+                member_indices = sorted(members)
+                member_points = cloud.points[member_indices].astype(np.float64)
+                clusters.append(
+                    Cluster(
+                        indices=member_indices,
+                        centroid=member_points.mean(axis=0),
+                        bbox=BoundingBox.from_points(member_points),
+                    )
+                )
+        return clusters
+
     def _grow_clusters(self, cloud: PointCloud,
                        search: Callable[[Sequence[float], float], List[int]],
                        layout: Optional[TreeMemoryLayout] = None) -> List[Cluster]:

@@ -6,7 +6,8 @@ localization; the other is the classic Iterative Closest Point algorithm
 the map's k-d tree, so it is another consumer of the structures this library
 accelerates.  The implementation supports both the baseline kNN and the
 compressed (Bonsai) kNN as the correspondence engine, returning identical
-transforms either way.
+transforms either way; the baseline correspondence round is issued as one
+batched kNN query per iteration through :mod:`repro.runtime`.
 
 Only the rigid 3-DoF translation + yaw case is solved (the planar motion an
 autonomous vehicle performs between consecutive frames), using the standard
@@ -22,9 +23,9 @@ import numpy as np
 
 from ..core.bonsai_knn import BonsaiNearestNeighbors
 from ..kdtree.build import KDTree, build_kdtree
-from ..kdtree.knn import nearest_neighbor
 from ..kdtree.radius_search import SearchStats
 from ..pointcloud.cloud import PointCloud
+from ..runtime.batch import batch_knn
 
 __all__ = ["ICPConfig", "ICPResult", "ICPMatcher"]
 
@@ -128,21 +129,33 @@ class ICPMatcher:
     # ------------------------------------------------------------------
     def _correspondences(self, sources: np.ndarray,
                          transformed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Nearest map point of every transformed scan point, gated by distance."""
+        """Nearest map point of every transformed scan point, gated by distance.
+
+        The baseline path issues all scan points as one batched 1-NN query
+        (:func:`repro.runtime.batch_knn`); the Bonsai path screens each point
+        against the compressed leaves.  Both return exact nearest neighbours,
+        so the resulting transforms are identical — up to exact distance
+        ties, where the batched engine picks the lowest-index point among the
+        equidistant candidates.
+        """
         max_distance = self.config.max_correspondence_distance
-        kept_sources: List[np.ndarray] = []
-        kept_targets: List[np.ndarray] = []
-        for source, point in zip(sources, transformed):
-            if self._bonsai_knn is not None:
+        if self._bonsai_knn is not None:
+            kept_sources: List[np.ndarray] = []
+            kept_targets: List[np.ndarray] = []
+            for source, point in zip(sources, transformed):
                 index, distance = self._bonsai_knn.search(point, k=1)[0]
-            else:
-                index, distance = nearest_neighbor(self.tree, point, stats=self.search_stats)
-            if distance <= max_distance:
-                kept_sources.append(source)
-                kept_targets.append(self.tree.points[index].astype(np.float64))
-        if not kept_sources:
+                if distance <= max_distance:
+                    kept_sources.append(source)
+                    kept_targets.append(self.tree.points_f64[index])
+            if not kept_sources:
+                return np.empty((0, 3)), np.empty((0, 3))
+            return np.vstack(kept_sources), np.vstack(kept_targets)
+
+        nearest = batch_knn(self.tree, transformed, k=1, stats=self.search_stats)
+        keep = nearest.distances[:, 0] <= max_distance
+        if not keep.any():
             return np.empty((0, 3)), np.empty((0, 3))
-        return np.vstack(kept_sources), np.vstack(kept_targets)
+        return sources[keep], self.tree.points_f64[nearest.indices[keep, 0]]
 
 
 def _yaw_rotation(yaw: float) -> np.ndarray:

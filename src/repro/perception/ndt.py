@@ -11,7 +11,9 @@ This implementation keeps the structure that matters for the reproduction:
 * the map is voxelised and each voxel stores a Gaussian (mean, covariance),
   as in ``pcl::VoxelGridCovariance``;
 * a k-d tree is built over the voxel means;
-* every optimisation iteration radius-searches that tree once per scan point;
+* every optimisation iteration radius-searches that tree once per scan point
+  (all scan points of an iteration are issued as one batched query through
+  :mod:`repro.runtime`);
 * a 3-DoF (translation) Newton optimisation maximises the NDT score.
 
 The restriction to translation keeps the optimiser small while leaving the
@@ -25,10 +27,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.bonsai_search import BonsaiRadiusSearch
 from ..kdtree.build import KDTree, build_kdtree
-from ..kdtree.radius_search import RadiusSearcher, SearchStats
+from ..kdtree.radius_search import SearchStats
 from ..pointcloud.cloud import PointCloud
+from ..runtime.batch import BatchQueryEngine
+from ..runtime.bonsai import BonsaiBatchSearcher
 
 __all__ = ["VoxelGaussian", "NDTConfig", "NDTResult", "NDTMap", "NDTMatcher"]
 
@@ -124,20 +127,27 @@ class NDTMap:
 
 
 class NDTMatcher:
-    """Registers a scan against an :class:`NDTMap` by translation-only NDT."""
+    """Registers a scan against an :class:`NDTMap` by translation-only NDT.
+
+    The per-iteration neighbour lookup — one radius search per transformed
+    scan point — is issued as one batched query through
+    :mod:`repro.runtime`, in both the baseline and the Bonsai configuration.
+    Results (and the accumulated :class:`SearchStats`) are identical to
+    issuing the searches one by one.
+    """
 
     def __init__(self, ndt_map: NDTMap, use_bonsai: bool = False):
         self.map = ndt_map
         self.config = ndt_map.config
         self.use_bonsai = use_bonsai
         if use_bonsai:
-            self._bonsai = BonsaiRadiusSearch(ndt_map.tree)
-            self._search = self._bonsai.search
+            self._bonsai = BonsaiBatchSearcher(ndt_map.tree)
+            self._batch_search = self._bonsai.radius_search
             self._stats = self._bonsai.stats
         else:
-            self._searcher = RadiusSearcher(ndt_map.tree)
-            self._search = self._searcher.search
-            self._stats = self._searcher.stats
+            self._engine = BatchQueryEngine(ndt_map.tree)
+            self._batch_search = self._engine.radius_search
+            self._stats = self._engine.stats
 
     @property
     def search_stats(self) -> SearchStats:
@@ -209,9 +219,9 @@ class NDTMatcher:
         gradient = np.zeros(3)
         hessian = np.zeros((3, 3))
         transformed = points + translation
-        for point in transformed:
-            neighbor_ids = self._search(point, config.search_radius)
-            for voxel_index in neighbor_ids:
+        neighbors = self._batch_search(transformed, config.search_radius)
+        for point_index, point in enumerate(transformed):
+            for voxel_index in neighbors.indices_for(point_index):
                 voxel = self.map.voxels[voxel_index]
                 diff = point - voxel.mean
                 exponent = -0.5 * float(diff @ voxel.inverse_covariance @ diff)
