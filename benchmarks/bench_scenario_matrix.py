@@ -1,0 +1,99 @@
+"""Scenario matrix sweep: every registered world x {baseline, Bonsai}.
+
+The seed reproduction validated the compressed search against a single urban
+point distribution.  This benchmark runs the *end-to-end* perception
+pipeline (clustering → filtering → tracking → NDT localization, through the
+batched query engine) over every scenario in :mod:`repro.scenarios` with the
+baseline and the Bonsai search, and regenerates a results table showing that
+the paper's central claim — fewer bytes fetched per query at identical
+functional results — holds across point distributions, from dense indoor
+aisles to sparse rural fields.
+
+Scale knobs: ``REPRO_BENCH_SCENARIO_FRAMES`` (default 3),
+``REPRO_BENCH_SCENARIO_BEAMS`` / ``_AZIMUTH`` (default 18 x 180).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import render_table
+from repro.scenarios import scenario_names
+from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+from paper_reference import write_result
+
+N_FRAMES = int(os.environ.get("REPRO_BENCH_SCENARIO_FRAMES", "3"))
+N_BEAMS = int(os.environ.get("REPRO_BENCH_SCENARIO_BEAMS", "18"))
+N_AZIMUTH = int(os.environ.get("REPRO_BENCH_SCENARIO_AZIMUTH", "180"))
+
+
+def _run(name: str, use_bonsai: bool):
+    runner = PipelineRunner.from_scenario(
+        name, config=PipelineRunnerConfig(use_bonsai=use_bonsai),
+        n_frames=N_FRAMES, n_beams=N_BEAMS, n_azimuth_steps=N_AZIMUTH,
+    )
+    return runner.run()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Every scenario run in both configurations."""
+    return {
+        name: (_run(name, use_bonsai=False), _run(name, use_bonsai=True))
+        for name in scenario_names()
+    }
+
+
+def test_scenario_matrix_report(benchmark, matrix):
+    """Regenerate the scenario-matrix table (workload-diversity extension)."""
+    results = benchmark.pedantic(lambda: matrix, rounds=1, iterations=1)
+
+    rows = []
+    for name, (baseline, bonsai) in results.items():
+        base_m = baseline.metrics()
+        bonsai_m = bonsai.metrics()
+        base_bytes = base_m["cluster_search"]["point_bytes_loaded"]
+        bonsai_bytes = bonsai_m["cluster_search"]["point_bytes_loaded"]
+        byte_change = (bonsai_bytes - base_bytes) / base_bytes if base_bytes else 0.0
+        loc = base_m.get("localization") or {}
+        rows.append((
+            name,
+            base_m["filtered_points_total"],
+            base_m["clusters_total"],
+            base_m["confirmed_tracks_final"],
+            f"{loc.get('mean_error_m', float('nan')):.3f}",
+            f"{base_bytes:,}",
+            f"{bonsai_bytes:,}",
+            f"{byte_change:+.1%}",
+        ))
+    text = render_table(
+        ("Scenario", "Filtered pts", "Clusters", "Tracks", "Loc err [m]",
+         "Baseline leaf B", "Bonsai leaf B", "Change"),
+        rows,
+        title=(f"Scenario matrix - end-to-end pipeline, {N_FRAMES} frames at "
+               f"{N_BEAMS}x{N_AZIMUTH} rays (extension beyond the paper)"),
+    )
+    write_result("scenario_matrix", text)
+
+    for name, (baseline, bonsai) in results.items():
+        base_m = baseline.metrics()
+        bonsai_m = bonsai.metrics()
+        # Functional parity: the compressed search must not change any
+        # pipeline outcome, on any scenario.
+        for key in ("clusters_total", "detections_kept_total",
+                    "confirmed_tracks_final", "track_labels", "frame_indices"):
+            assert bonsai_m[key] == base_m[key], (name, key)
+        assert bonsai_m["cluster_search"]["points_in_radius"] == \
+            base_m["cluster_search"]["points_in_radius"], name
+        # And the central claim: fewer bytes fetched to answer the queries.
+        assert bonsai_m["cluster_search"]["point_bytes_loaded"] < \
+            0.7 * base_m["cluster_search"]["point_bytes_loaded"], name
+
+
+def test_single_scenario_pipeline_kernel(benchmark):
+    """Time one end-to-end baseline pipeline run on the densest world."""
+    benchmark.pedantic(lambda: _run("warehouse_indoor", use_bonsai=False),
+                       rounds=1, iterations=2)

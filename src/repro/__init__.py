@@ -13,6 +13,9 @@ Subpackages
     compressed (Bonsai) radius search.
 ``repro.pointcloud``
     Point cloud containers, synthetic LiDAR and driving scenes, filters, I/O.
+``repro.scenarios``
+    Scenario library: named, seeded, parameterized worlds (urban, highway,
+    tunnel, warehouse, ...) behind one registry.
 ``repro.kdtree``
     PCL/FLANN-style leaf-based k-d tree, baseline radius search, kNN.
 ``repro.runtime``
@@ -58,6 +61,11 @@ instead of spelling out the subpackage:
 ``SearchStats``
     Functional search counters shared by every query path
     (:class:`repro.kdtree.radius_search.SearchStats`).
+``PipelineRunner`` / ``PipelineRunnerConfig``
+    End-to-end perception pipeline over a scenario sequence
+    (:mod:`repro.workloads.pipeline`).
+``scenario_names()`` / ``get_scenario`` / ``build_scene`` / ``build_sequence``
+    The scenario library registry (:mod:`repro.scenarios`).
 """
 
 from importlib import import_module
@@ -75,6 +83,12 @@ _EXPORTS = {
     "BatchQueryEngine": "repro.runtime",
     "BonsaiBatchSearcher": "repro.runtime",
     "BonsaiRadiusSearch": "repro.core",
+    "PipelineRunner": "repro.workloads",
+    "PipelineRunnerConfig": "repro.workloads",
+    "build_sequence": "repro.scenarios",
+    "build_scene": "repro.scenarios",
+    "scenario_names": "repro.scenarios",
+    "get_scenario": "repro.scenarios",
 }
 
 __all__ = ["__version__"] + sorted(_EXPORTS)

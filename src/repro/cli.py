@@ -18,6 +18,12 @@ The CLI exposes the most common flows without writing Python:
     vectorised engine (:mod:`repro.runtime`) and report throughput, search
     statistics and — with ``--compare-loop`` — the speed-up over the
     per-query reference paths.
+``python -m repro scenarios list``
+    Enumerate the registered scenario worlds (:mod:`repro.scenarios`).
+``python -m repro pipeline --scenario <name>``
+    Run the end-to-end perception pipeline (clustering → filtering →
+    tracking → NDT localization) over a scenario sequence and print the
+    per-stage report.
 """
 
 from __future__ import annotations
@@ -81,6 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="leaf engine for the radius sweep")
     sweep.add_argument("--compare-loop", action="store_true",
                        help="also time the per-query reference loop and print the speed-up")
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="inspect the registered scenario library")
+    scenarios.add_argument("action", choices=("list",),
+                           help="what to do (list: print the registry)")
+    scenarios.add_argument("--seed", type=int, default=None,
+                           help="seed used when counting scene obstacles")
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="run the end-to-end perception pipeline on a scenario")
+    pipeline.add_argument("--scenario", default="urban",
+                          help="registered scenario name (see `repro scenarios list`)")
+    pipeline.add_argument("--frames", type=int, default=4, help="number of frames")
+    pipeline.add_argument("--seed", type=int, default=None,
+                          help="scene/sensor seed (default: the scenario's)")
+    pipeline.add_argument("--beams", type=int, default=None,
+                          help="LiDAR beams (default: the scenario's)")
+    pipeline.add_argument("--azimuth-steps", type=int, default=None,
+                          help="LiDAR azimuth steps (default: the scenario's)")
+    pipeline.add_argument("--bonsai", action="store_true",
+                          help="use the K-D Bonsai compressed search")
+    pipeline.add_argument("--no-localization", action="store_true",
+                          help="skip the NDT localization stage")
 
     return parser
 
@@ -241,12 +270,84 @@ def _cmd_batch_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .scenarios import all_scenarios
+
+    rows = []
+    for spec in all_scenarios():
+        scene = spec.scene(seed=args.seed)
+        rows.append((
+            spec.name,
+            len(scene.obstacles),
+            f"{spec.defaults.ego_speed_mps:g}",
+            ",".join(spec.tags),
+            spec.description,
+        ))
+    print(render_table(
+        ("Scenario", "Obstacles", "Ego m/s", "Tags", "Description"),
+        rows,
+        title=f"Registered scenarios ({len(rows)})",
+    ))
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .analysis import render_table
+    from .workloads import PipelineRunner, PipelineRunnerConfig
+
+    config = PipelineRunnerConfig(
+        use_bonsai=args.bonsai,
+        localization=not args.no_localization,
+    )
+    runner = PipelineRunner.from_scenario(
+        args.scenario, config=config, n_frames=args.frames, seed=args.seed,
+        n_beams=args.beams, n_azimuth_steps=args.azimuth_steps,
+    )
+    result = runner.run()
+    metrics = result.metrics()
+
+    mode = "Bonsai-extensions" if args.bonsai else "baseline"
+    rows = [
+        (f.frame_index, f.n_raw_points, f.n_filtered_points, f.n_clusters,
+         f.n_detections_kept, f.n_confirmed_tracks,
+         f"{f.model_end_to_end_seconds * 1e3:.2f}")
+        for f in result.frames
+    ]
+    print(render_table(
+        ("Frame", "Raw pts", "Filtered", "Clusters", "Kept", "Tracks", "Latency [ms]"),
+        rows,
+        title=f"Pipeline `{args.scenario}` ({mode} search, {len(result.frames)} frames)",
+    ))
+    search = metrics["cluster_search"]
+    print(f"\nclustering: {search['queries']} queries, "
+          f"{search['leaves_visited']} leaf visits, "
+          f"{search['point_bytes_loaded']:,} B of leaf points loaded")
+    labels = ", ".join(f"{label} x{count}"
+                       for label, count in metrics["track_labels"].items()) or "none"
+    print(f"tracking:   {metrics['tracks_spawned']} spawned, "
+          f"{metrics['confirmed_tracks_final']} confirmed ({labels})")
+    if result.localization is not None:
+        loc = result.localization
+        print(f"localization: {loc.n_scans} scans, mean error {loc.mean_error_m:.3f} m, "
+              f"max {loc.max_error_m:.3f} m, {loc.iterations_total} NDT iterations")
+    if result.cluster_bonsai is not None:
+        b = result.cluster_bonsai
+        print(f"bonsai:     {b.leaf_visits} compressed leaf visits, "
+              f"inconclusive rate {b.inconclusive_rate:.3%}")
+    for stage, seconds in result.stage_seconds.items():
+        print(f"  wall {stage:9s} {seconds * 1e3:8.1f} ms")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
     "cluster": _cmd_cluster,
     "compare": _cmd_compare,
     "batch-sweep": _cmd_batch_sweep,
+    "scenarios": _cmd_scenarios,
+    "pipeline": _cmd_pipeline,
 }
 
 

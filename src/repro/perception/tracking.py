@@ -83,6 +83,11 @@ class ClusterTracker:
         """Tracks that accumulated enough hits to be trusted."""
         return [track for track in self._tracks.values() if track.confirmed]
 
+    @property
+    def tracks_spawned(self) -> int:
+        """Total number of tracks ever created (including dropped ones)."""
+        return self._next_id
+
     # ------------------------------------------------------------------
     # Update
     # ------------------------------------------------------------------

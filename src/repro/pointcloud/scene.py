@@ -100,13 +100,21 @@ class SceneConfig:
 
 
 class Scene:
-    """A static + dynamic collection of obstacles over a ground plane."""
+    """A static + dynamic collection of obstacles over a ground plane.
+
+    ``path_length`` is the length (metres) of the drivable stretch along +x;
+    the ego vehicle's position wraps modulo this length when a
+    :class:`~repro.pointcloud.sequence.DrivingSequence` plays the scene.
+    ``None`` falls back to the sequence's ``SceneConfig.road_length``, which
+    keeps the historical urban-scene behaviour.
+    """
 
     def __init__(self, obstacles: List[Obstacle], ground_z: float = -1.8,
-                 extent: float = 130.0):
+                 extent: float = 130.0, path_length: Optional[float] = None):
         self.obstacles = obstacles
         self.ground_z = float(ground_z)
         self.extent = float(extent)
+        self.path_length = float(path_length) if path_length is not None else None
 
     def boxes_at(self, t: float) -> List[Box]:
         """All obstacle boxes displaced to time ``t``."""
@@ -234,4 +242,4 @@ def make_urban_scene(config: Optional[SceneConfig] = None) -> Scene:
             )
         )
 
-    return Scene(obstacles)
+    return Scene(obstacles, path_length=config.road_length)

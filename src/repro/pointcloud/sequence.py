@@ -39,27 +39,55 @@ class SequenceConfig:
 
 
 class DrivingSequence:
-    """Lazy generator of LiDAR frames along a straight ego trajectory."""
+    """Lazy generator of LiDAR frames along a straight ego trajectory.
 
-    def __init__(self, config: Optional[SequenceConfig] = None):
+    By default the sequence plays the procedural urban scene; any other
+    :class:`~repro.pointcloud.scene.Scene` (e.g. one built by the scenario
+    library, :mod:`repro.scenarios`) can be injected through ``scene``, in
+    which case ``config.scene`` only seeds the default and the ego wrap
+    length comes from the scene's ``path_length``.
+    """
+
+    def __init__(self, config: Optional[SequenceConfig] = None,
+                 scene: Optional[Scene] = None):
         self.config = config or SequenceConfig()
-        self.scene: Scene = make_urban_scene(self.config.scene)
+        self.scene: Scene = scene if scene is not None else make_urban_scene(self.config.scene)
         self.lidar = Lidar(self.config.lidar)
 
     def __len__(self) -> int:
         return self.config.n_frames
+
+    @property
+    def path_length(self) -> float:
+        """Length of the wrapped ego path along +x."""
+        if self.scene.path_length is not None:
+            return self.scene.path_length
+        return self.config.scene.road_length
+
+    def ego_position(self, index: int) -> np.ndarray:
+        """Ground-truth sensor origin (world frame) at frame ``index``.
+
+        This is the pose the localization workloads recover; the x coordinate
+        wraps modulo :attr:`path_length` exactly as :meth:`frame` places the
+        sensor.
+        """
+        if not 0 <= index < len(self):
+            raise IndexError(f"frame index {index} out of range [0, {len(self)})")
+        t = index / self.config.frame_rate_hz
+        ego_x = self.config.ego_speed_mps * t
+        length = self.path_length
+        ego_x = ((ego_x + 0.5 * length) % length) - 0.5 * length
+        return np.array([ego_x, 0.0, 0.0])
 
     def frame(self, index: int) -> PointCloud:
         """Generate frame ``index`` (0-based)."""
         if not 0 <= index < len(self):
             raise IndexError(f"frame index {index} out of range [0, {len(self)})")
         t = index / self.config.frame_rate_hz
-        ego_x = self.config.ego_speed_mps * t
-        # Keep the ego vehicle inside the block by wrapping its position.
-        ego_x = ((ego_x + 0.5 * self.config.scene.road_length)
-                 % self.config.scene.road_length) - 0.5 * self.config.scene.road_length
+        # Keep the ego vehicle inside the drivable stretch by wrapping.
+        ego = self.ego_position(index)
         cloud = self.lidar.scan(
-            self.scene, t=t, ego_position=(ego_x, 0.0, 0.0), frame_index=index
+            self.scene, t=t, ego_position=tuple(ego), frame_index=index
         )
         cloud.timestamp = t
         return cloud

@@ -1,0 +1,38 @@
+"""Scenario library: named, seeded, parameterized worlds behind one registry.
+
+``repro.scenarios`` turns the single synthetic urban block of the seed
+reproduction into a workload *suite*: every scenario couples a procedural
+:class:`~repro.pointcloud.scene.Scene` factory with sequence/sensor defaults
+and registers under a unique name, so pipelines, benchmarks and the CLI can
+enumerate them uniformly::
+
+    from repro.scenarios import build_sequence, scenario_names
+    sequence = build_sequence("tunnel", n_frames=4, seed=3)
+
+Importing the package registers the built-in worlds (urban, highway,
+parking_lot, tunnel, warehouse_indoor, sparse_rural and the degraded-sensor
+variants).
+"""
+
+from .registry import (
+    ScenarioDefaults,
+    ScenarioSpec,
+    all_scenarios,
+    build_scene,
+    build_sequence,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from . import worlds  # noqa: F401  — registers the built-in scenarios
+
+__all__ = [
+    "ScenarioDefaults",
+    "ScenarioSpec",
+    "all_scenarios",
+    "build_scene",
+    "build_sequence",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,364 @@
+"""The built-in scenario worlds.
+
+Each factory procedurally builds one world the perception pipeline must
+handle — the point of the library is *diversity*: point distributions range
+from dense indoor aisles (every leaf crowded) to near-empty rural fields
+(most leaves sparse), from canyon-like tunnels (strong coordinate locality,
+ideal for leaf compression) to open highways (long thin structures).  All
+worlds share the coordinate conventions of the urban seed scene: ground at
+``z = -1.8``, the ego sensor at the origin looking down +x, labels drawn
+from the same coarse vocabulary (``vehicle``, ``pedestrian``, ``pole``,
+``building``, ``clutter``, plus world-specific ones such as ``guardrail`` or
+``rack``).
+
+Factories are deterministic in their ``seed`` argument; everything random
+goes through one ``numpy`` generator per factory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..pointcloud.scene import Box, Obstacle, Scene, SceneConfig, make_urban_scene
+from .registry import ScenarioDefaults, register_scenario
+
+__all__ = [
+    "make_highway_scene",
+    "make_parking_lot_scene",
+    "make_tunnel_scene",
+    "make_warehouse_scene",
+    "make_sparse_rural_scene",
+]
+
+
+def _car(center, label: str = "vehicle", size=(4.5, 1.8, 1.6),
+         velocity=(0.0, 0.0, 0.0)) -> Obstacle:
+    return Obstacle(Box(center=tuple(center), size=tuple(size), label=label),
+                    velocity=tuple(velocity))
+
+
+@register_scenario(
+    "urban",
+    "Urban block: building facades, parked and moving vehicles, pedestrians, "
+    "poles and clutter (the paper's Tier IV-like setting).",
+    tags=("outdoor", "dynamic"),
+)
+def _make_urban(seed: int) -> Scene:
+    return make_urban_scene(SceneConfig(seed=seed))
+
+
+@register_scenario(
+    "highway",
+    "Multi-lane highway: guardrails, noise barriers, overhead gantries and "
+    "fast traffic in both directions.",
+    defaults=ScenarioDefaults(ego_speed_mps=25.0),
+    tags=("outdoor", "dynamic", "fast"),
+)
+def make_highway_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    length = 300.0
+    half_road = 11.0
+    obstacles: List[Obstacle] = []
+
+    # Guardrails: continuous low segments along both shoulders.
+    segment = 12.0
+    for side in (-1.0, 1.0):
+        for i in range(int(length // segment)):
+            x = -0.5 * length + (i + 0.5) * segment
+            obstacles.append(Obstacle(Box(
+                center=(x, side * (half_road + 0.6), -1.4),
+                size=(segment, 0.3, 0.8),
+                label="guardrail",
+            )))
+
+    # Noise barriers on stretches of the right side.
+    for i in range(int(length // 30.0)):
+        if rng.random() < 0.6:
+            x = -0.5 * length + (i + 0.5) * 30.0
+            obstacles.append(Obstacle(Box(
+                center=(x, half_road + 4.0, 0.2),
+                size=(30.0, 0.5, 4.0),
+                label="building",
+            )))
+
+    # Overhead sign gantries: a beam spanning the road plus two supports.
+    for x in np.linspace(-0.35 * length, 0.35 * length, 3):
+        obstacles.append(Obstacle(Box(
+            center=(float(x), 0.0, 4.3), size=(0.5, 2.0 * half_road + 2.0, 0.9),
+            label="building",
+        )))
+        for side in (-1.0, 1.0):
+            obstacles.append(Obstacle(Box(
+                center=(float(x), side * (half_road + 0.8), 1.3),
+                size=(0.4, 0.4, 6.2), label="pole",
+            )))
+
+    # Fast traffic: cars and trucks in four lanes, both directions.
+    lanes = (-8.0, -4.5, 4.5, 8.0)
+    for _ in range(10):
+        lane = float(rng.choice(lanes))
+        direction = 1.0 if lane > 0 else -1.0
+        x = float(rng.uniform(-0.45, 0.45) * length)
+        speed = direction * float(rng.uniform(20.0, 33.0))
+        if rng.random() < 0.3:
+            obstacles.append(_car((x, lane, -0.3), size=(12.0, 2.5, 3.4),
+                                  velocity=(speed, 0.0, 0.0)))
+        else:
+            obstacles.append(_car((x, lane, -0.9), velocity=(speed, 0.0, 0.0)))
+
+    return Scene(obstacles, extent=320.0, path_length=length)
+
+
+@register_scenario(
+    "parking_lot",
+    "Supermarket parking lot: dense rows of parked vehicles, light poles, "
+    "stray carts and pedestrians, ego creeping down an aisle.",
+    defaults=ScenarioDefaults(ego_speed_mps=3.0),
+    tags=("outdoor", "dense", "slow"),
+)
+def make_parking_lot_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    length = 60.0
+    obstacles: List[Obstacle] = []
+
+    # Perimeter wall (low kerb/fence) around the lot.
+    for x, y, sx, sy in ((0.0, 24.0, length + 10.0, 0.4), (0.0, -24.0, length + 10.0, 0.4),
+                         (35.0, 0.0, 0.4, 48.0), (-35.0, 0.0, 0.4, 48.0)):
+        obstacles.append(Obstacle(Box(center=(x, y, -1.2), size=(sx, sy, 1.2),
+                                      label="building")))
+
+    # Parked rows flanking the driving aisle (the ego drives along y = 0).
+    for row_y in (-18.0, -10.5, 10.5, 18.0):
+        for slot in range(16):
+            if rng.random() > 0.72:
+                continue
+            x = -0.5 * length + 2.0 + slot * 3.8 + float(rng.uniform(-0.25, 0.25))
+            van = rng.random() < 0.15
+            obstacles.append(_car(
+                (x, row_y + float(rng.uniform(-0.2, 0.2)), -0.9 if not van else -0.65),
+                size=(4.4, 1.8, 1.6) if not van else (5.4, 2.0, 2.3),
+            ))
+
+    # Light poles at row ends.
+    for x in (-28.0, -14.0, 0.0, 14.0, 28.0):
+        for y in (-14.0, 14.0):
+            obstacles.append(Obstacle(Box(center=(x, y, 1.2), size=(0.3, 0.3, 6.0),
+                                          label="pole")))
+
+    # Stray shopping carts and kerb clutter.
+    for _ in range(8):
+        x = float(rng.uniform(-28.0, 28.0))
+        y = float(rng.choice([-1.0, 1.0])) * float(rng.uniform(4.0, 22.0))
+        obstacles.append(Obstacle(Box(center=(x, y, -1.3), size=(0.9, 0.5, 1.0),
+                                      label="clutter")))
+
+    # Pedestrians pushing carts towards the store.
+    for _ in range(5):
+        x = float(rng.uniform(-25.0, 25.0))
+        y = float(rng.uniform(-20.0, 20.0))
+        walk = float(rng.uniform(-1.2, 1.2))
+        obstacles.append(Obstacle(Box(center=(x, y, -1.0), size=(0.5, 0.5, 1.7),
+                                      label="pedestrian"),
+                         velocity=(walk, float(rng.uniform(-0.5, 0.5)), 0.0)))
+
+    # One car slowly hunting for a slot.
+    obstacles.append(_car((12.0, 0.0, -0.9), velocity=(-2.0, 0.0, 0.0)))
+
+    return Scene(obstacles, extent=90.0, path_length=length)
+
+
+@register_scenario(
+    "tunnel",
+    "Road tunnel: continuous walls and ceiling enclosing the road, wall "
+    "equipment, jet fans and moderate traffic.",
+    defaults=ScenarioDefaults(ego_speed_mps=14.0),
+    tags=("enclosed", "dynamic"),
+)
+def make_tunnel_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    length = 160.0
+    half_width = 6.2
+    ceiling_z = 4.4
+    obstacles: List[Obstacle] = []
+
+    segment = 10.0
+    n_segments = int(length // segment)
+    for i in range(n_segments):
+        x = -0.5 * length + (i + 0.5) * segment
+        # Side walls reach from the ground to the ceiling.
+        for side in (-1.0, 1.0):
+            obstacles.append(Obstacle(Box(
+                center=(x, side * (half_width + 0.4), 0.5 * (ceiling_z - 1.8)),
+                size=(segment, 0.8, ceiling_z + 1.8),
+                label="building",
+            )))
+        # Ceiling slab.
+        obstacles.append(Obstacle(Box(
+            center=(x, 0.0, ceiling_z + 0.3),
+            size=(segment, 2.0 * half_width + 1.6, 0.6),
+            label="building",
+        )))
+
+    # Wall-mounted equipment cabinets, alternating sides.
+    for i in range(8):
+        x = -0.5 * length + (i + 0.5) * (length / 8.0)
+        side = -1.0 if i % 2 else 1.0
+        obstacles.append(Obstacle(Box(
+            center=(x + float(rng.uniform(-2.0, 2.0)), side * (half_width - 0.4), -0.4),
+            size=(0.8, 0.6, 1.4), label="clutter",
+        )))
+
+    # Jet fans hanging from the ceiling.
+    for x in (-45.0, 5.0, 55.0):
+        obstacles.append(Obstacle(Box(center=(x, 0.0, ceiling_z - 0.7),
+                                      size=(3.0, 1.2, 1.2), label="clutter")))
+
+    # Traffic inside the tube.
+    for _ in range(4):
+        lane = float(rng.choice([-2.8, 2.8]))
+        direction = 1.0 if lane < 0 else -1.0
+        x = float(rng.uniform(-0.4, 0.4) * length)
+        obstacles.append(_car((x, lane, -0.9),
+                              velocity=(direction * float(rng.uniform(14.0, 22.0)), 0.0, 0.0)))
+
+    return Scene(obstacles, extent=180.0, path_length=length)
+
+
+@register_scenario(
+    "warehouse_indoor",
+    "Indoor warehouse: perimeter walls, shelving racks along aisles, "
+    "pallets, support columns, a moving forklift and workers (AGV ego).",
+    defaults=ScenarioDefaults(ego_speed_mps=2.0, range_noise_std=0.01,
+                              dropout_rate=0.01),
+    tags=("indoor", "dense", "slow"),
+)
+def make_warehouse_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    length = 44.0
+    half_width = 16.0
+    obstacles: List[Obstacle] = []
+
+    # Perimeter walls.
+    wall_height = 8.0
+    for x, y, sx, sy in ((0.0, half_width + 0.3, length + 8.0, 0.6),
+                         (0.0, -half_width - 0.3, length + 8.0, 0.6),
+                         (0.5 * length + 3.0, 0.0, 0.6, 2.0 * half_width + 1.0),
+                         (-0.5 * length - 3.0, 0.0, 0.6, 2.0 * half_width + 1.0)):
+        obstacles.append(Obstacle(Box(center=(x, y, 0.5 * wall_height - 1.8),
+                                      size=(sx, sy, wall_height), label="building")))
+
+    # Shelving racks in rows parallel to the driving aisle (ego runs y = 0).
+    for row_y in (-12.0, -7.0, 7.0, 12.0):
+        for unit in range(6):
+            if rng.random() < 0.1:
+                continue  # a missing rack unit opens a cross-aisle
+            x = -0.5 * length + 4.0 + unit * 6.5
+            obstacles.append(Obstacle(Box(
+                center=(x, row_y, 1.2), size=(5.6, 1.4, 6.0), label="rack",
+            )))
+
+    # Pallets staged near the racks.
+    for _ in range(9):
+        x = float(rng.uniform(-18.0, 18.0))
+        y = float(rng.choice([-1.0, 1.0])) * float(rng.uniform(3.0, 5.0))
+        obstacles.append(Obstacle(Box(center=(x, y, -1.4),
+                                      size=(1.2, 1.0, 0.9), label="clutter")))
+
+    # Support columns.
+    for x in (-15.0, 0.0, 15.0):
+        for y in (-4.0, 4.0):
+            obstacles.append(Obstacle(Box(center=(x, y, 2.0), size=(0.5, 0.5, 7.6),
+                                          label="pole")))
+
+    # A forklift working the aisle and two pickers.
+    obstacles.append(_car((8.0, 2.5, -0.7), size=(2.4, 1.2, 2.2),
+                          velocity=(-1.5, 0.0, 0.0)))
+    for _ in range(2):
+        x = float(rng.uniform(-15.0, 15.0))
+        y = float(rng.choice([-1.0, 1.0])) * float(rng.uniform(2.0, 5.0))
+        obstacles.append(Obstacle(Box(center=(x, y, -1.0), size=(0.5, 0.5, 1.7),
+                                      label="pedestrian"),
+                         velocity=(float(rng.uniform(-1.0, 1.0)), 0.0, 0.0)))
+
+    return Scene(obstacles, extent=60.0, path_length=length)
+
+
+@register_scenario(
+    "sparse_rural",
+    "Sparse rural road: scattered trees, fence posts, a barn and a tractor "
+    "in otherwise open fields (mostly empty leaves).",
+    defaults=ScenarioDefaults(ego_speed_mps=12.0),
+    tags=("outdoor", "sparse"),
+)
+def make_sparse_rural_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    length = 240.0
+    obstacles: List[Obstacle] = []
+
+    # A barn, a farmhouse and a roadside shed.
+    obstacles.append(Obstacle(Box(center=(40.0, 20.0, 1.2), size=(14.0, 9.0, 6.0),
+                                  label="building")))
+    obstacles.append(Obstacle(Box(center=(-45.0, -26.0, 0.2), size=(9.0, 7.0, 4.0),
+                                  label="building")))
+    obstacles.append(Obstacle(Box(center=(12.0, 9.0, 0.0), size=(6.0, 4.0, 3.6),
+                                  label="building")))
+
+    # Trees: trunk plus canopy.
+    for _ in range(12):
+        x = float(rng.uniform(-0.48, 0.48) * length)
+        y = float(rng.choice([-1.0, 1.0])) * float(rng.uniform(8.0, 30.0))
+        obstacles.append(Obstacle(Box(center=(x, y, -0.4), size=(0.45, 0.45, 2.8),
+                                      label="pole")))
+        obstacles.append(Obstacle(Box(center=(x, y, 2.6),
+                                      size=(float(rng.uniform(2.5, 4.0)),
+                                            float(rng.uniform(2.5, 4.0)),
+                                            float(rng.uniform(2.5, 3.5))),
+                                      label="tree")))
+
+    # Fence posts lining both sides of the road.
+    for side in (-1.0, 1.0):
+        for i in range(12):
+            x = -0.5 * length + (i + 0.5) * (length / 12.0)
+            obstacles.append(Obstacle(Box(center=(x, side * 6.5, -1.3),
+                                          size=(0.18, 0.18, 1.1), label="pole")))
+
+    # Hay bales in the fields.
+    for _ in range(5):
+        x = float(rng.uniform(-0.4, 0.4) * length)
+        y = float(rng.choice([-1.0, 1.0])) * float(rng.uniform(8.0, 28.0))
+        obstacles.append(Obstacle(Box(center=(x, y, -1.2), size=(1.5, 1.5, 1.3),
+                                      label="clutter")))
+
+    # A tractor trundling along the opposite lane.
+    obstacles.append(_car((18.0, -2.6, -0.5), size=(4.8, 2.2, 2.8),
+                          velocity=(-5.0, 0.0, 0.0)))
+
+    return Scene(obstacles, extent=260.0, path_length=length)
+
+
+# ----------------------------------------------------------------------
+# Sensor-degradation variants: same worlds, harder measurements.
+# ----------------------------------------------------------------------
+
+@register_scenario(
+    "urban_heavy_noise",
+    "Urban block under heavy range noise (rain/spray): the urban world with "
+    "5x the range noise and elevated dropout.",
+    defaults=ScenarioDefaults(range_noise_std=0.10, dropout_rate=0.06),
+    tags=("outdoor", "dynamic", "variant", "degraded"),
+)
+def _make_urban_heavy_noise(seed: int) -> Scene:
+    return make_urban_scene(SceneConfig(seed=seed))
+
+
+@register_scenario(
+    "rural_dropout",
+    "Sparse rural road with severe beam dropout (dust/sensor fault): one in "
+    "four returns lost.",
+    defaults=ScenarioDefaults(ego_speed_mps=12.0, dropout_rate=0.25),
+    tags=("outdoor", "sparse", "variant", "degraded"),
+)
+def _make_rural_dropout(seed: int) -> Scene:
+    return make_sparse_rural_scene(seed)

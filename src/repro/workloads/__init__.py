@@ -13,10 +13,22 @@ from .localization import (
     NDTPhaseBudget,
     RegistrationMeasurement,
 )
+from .pipeline import (
+    FrameRecord,
+    LocalizationReport,
+    PipelineRunner,
+    PipelineRunnerConfig,
+    PipelineRunResult,
+)
 from .profiles import ExecutionShare, profile_euclidean_cluster, profile_ndt_matching
 from .subsampling import SubsamplingErrors, evaluate_subsampling, measure_sequence
 
 __all__ = [
+    "FrameRecord",
+    "LocalizationReport",
+    "PipelineRunner",
+    "PipelineRunnerConfig",
+    "PipelineRunResult",
     "EuclideanClusterPipeline",
     "FrameMeasurement",
     "KernelReport",

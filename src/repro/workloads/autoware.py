@@ -30,7 +30,7 @@ from ..hwmodel.energy import EnergyModel, EnergyParameters
 from ..hwmodel.timing import KernelMetrics, TimingModel
 from ..isa.cost_model import InstructionBudget, estimate_baseline, estimate_bonsai
 from ..kdtree.radius_search import SearchStats
-from ..perception.cluster_filter import label_clusters
+from ..perception.cluster_filter import DetectedObject, label_clusters
 from ..perception.euclidean_cluster import ClusterConfig, EuclideanClusterExtractor
 from ..pointcloud.cloud import PointCloud
 from ..pointcloud.filters import PreprocessConfig, preprocess_for_clustering
@@ -139,6 +139,9 @@ class FrameMeasurement:
     point_bytes_loaded: int
     compressed_total_bytes: Optional[int] = None
     baseline_point_bytes: Optional[int] = None
+    #: The labelled detections the node would publish; consumed by the
+    #: cluster-filtering and tracking stages of the end-to-end runner.
+    detections: List[DetectedObject] = field(default_factory=list)
 
 
 class EuclideanClusterPipeline:
@@ -195,6 +198,7 @@ class EuclideanClusterPipeline:
                 result.bonsai.report.baseline_bytes
                 if result.bonsai is not None and result.bonsai.report is not None else None
             ),
+            detections=detections,
         )
 
     def run_frames(self, clouds: Iterable[PointCloud],

@@ -21,6 +21,14 @@ from repro.pointcloud import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden-metric snapshots under tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     """Deterministic random generator shared across tests."""

@@ -28,6 +28,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_scenarios_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+        args = build_parser().parse_args(["scenarios", "list"])
+        assert args.action == "list"
+
+    def test_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--scenario", "tunnel", "--frames", "2", "--bonsai"])
+        assert args.scenario == "tunnel"
+        assert args.frames == 2
+        assert args.bonsai is True
+        assert args.no_localization is False
+
 
 class TestCommands:
     def test_generate_pcd(self, tmp_path, capsys):
@@ -72,3 +86,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 9a" in out
         assert "latency" in out
+
+    def test_scenarios_list(self, capsys):
+        code = main(["scenarios", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("urban", "highway", "tunnel", "warehouse_indoor",
+                     "sparse_rural", "parking_lot"):
+            assert name in out
+
+    def test_pipeline_baseline(self, capsys):
+        code = main(["pipeline", "--scenario", "sparse_rural", "--frames", "3",
+                     "--beams", "14", "--azimuth-steps", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pipeline `sparse_rural`" in out
+        assert "baseline search" in out
+        assert "localization:" in out
+        assert "tracking:" in out
+
+    def test_pipeline_bonsai_no_localization(self, capsys):
+        code = main(["pipeline", "--scenario", "urban", "--frames", "2",
+                     "--beams", "12", "--azimuth-steps", "90",
+                     "--bonsai", "--no-localization"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bonsai-extensions search" in out
+        assert "bonsai:" in out
+        assert "localization:" not in out
+
+    def test_pipeline_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["pipeline", "--scenario", "mars_colony"])

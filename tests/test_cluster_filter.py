@@ -78,3 +78,74 @@ class TestFiltering:
 
     def test_histogram_empty(self):
         assert match_clusters_to_labels([]) == {}
+
+
+def _detection_with_extent(length, width, height):
+    points = np.array([[0.0, 0.0, 0.0], [length, width, height]])
+    return label_clusters(PointCloud(points.astype(np.float32)),
+                          [_cluster_from_points(points)])[0]
+
+
+class TestFilterBoundaries:
+    """`filter_by_extent` bounds are inclusive at exactly the threshold."""
+
+    def test_largest_extent_exactly_min_is_kept(self):
+        detection = _detection_with_extent(0.2, 0.1, 0.1)
+        assert filter_by_extent([detection], min_extent=0.2, max_extent=15.0) \
+            == [detection]
+
+    def test_largest_extent_exactly_max_is_kept(self):
+        detection = _detection_with_extent(15.0, 1.0, 1.0)
+        assert filter_by_extent([detection], min_extent=0.2, max_extent=15.0) \
+            == [detection]
+
+    def test_just_outside_either_bound_is_dropped(self):
+        too_small = _detection_with_extent(0.19, 0.1, 0.1)
+        too_big = _detection_with_extent(15.01, 1.0, 1.0)
+        assert filter_by_extent([too_small, too_big],
+                                min_extent=0.2, max_extent=15.0) == []
+
+    def test_empty_input(self):
+        assert filter_by_extent([]) == []
+
+
+class TestClassificationBoundaries:
+    """`_classify_extent` thresholds are strict (paper-style coarse classes)."""
+
+    def test_vehicle_thresholds_are_strict(self):
+        assert _detection_with_extent(2.5, 1.0, 1.5).label != "vehicle"
+        assert _detection_with_extent(2.51, 1.0, 0.8).label != "vehicle"
+        assert _detection_with_extent(2.51, 1.0, 0.81).label == "vehicle"
+
+    def test_pole_thresholds(self):
+        assert _detection_with_extent(0.3, 0.3, 2.5).label != "pole"
+        assert _detection_with_extent(0.3, 0.3, 2.51).label == "pole"
+        assert _detection_with_extent(0.8, 0.9, 3.0).label != "pole"
+
+    def test_pedestrian_thresholds(self):
+        assert _detection_with_extent(0.5, 0.5, 1.7).label == "pedestrian"
+        assert _detection_with_extent(1.2, 0.5, 1.7).label != "pedestrian"
+        assert _detection_with_extent(0.5, 0.5, 1.2).label != "pedestrian"
+        assert _detection_with_extent(0.5, 0.5, 2.5).label == "pedestrian"
+
+    def test_zero_extent_is_unknown(self):
+        assert _detection_with_extent(0.0, 0.0, 0.0).label == "unknown"
+
+
+class TestOnScenarioPipeline:
+    def test_filtering_end_to_end_across_scenarios(self):
+        """The filter stage keeps only in-bounds detections on real frames."""
+        from repro.perception import EuclideanClusterExtractor
+        from repro.pointcloud import preprocess_for_clustering
+        from repro.scenarios import build_sequence
+
+        for name in ("warehouse_indoor", "sparse_rural"):
+            sequence = build_sequence(name, n_frames=1, seed=7,
+                                      n_beams=14, n_azimuth_steps=120)
+            cloud = preprocess_for_clustering(sequence.frame(0))
+            result = EuclideanClusterExtractor(ClusterConfig()).extract(cloud)
+            detections = label_clusters(cloud, result.clusters)
+            kept = filter_by_extent(detections, min_extent=0.3, max_extent=10.0)
+            assert len(kept) <= len(detections)
+            for detection in kept:
+                assert 0.3 <= float(np.max(detection.bbox.extent)) <= 10.0

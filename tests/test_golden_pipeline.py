@@ -1,0 +1,149 @@
+"""Golden-metric regression harness for the end-to-end pipeline.
+
+Every registered scenario runs end-to-end through
+:class:`repro.workloads.PipelineRunner` — baseline and Bonsai — and the
+resulting :meth:`PipelineRunResult.metrics` dictionary is compared against a
+JSON snapshot under ``tests/golden/``.  The snapshots lock down *functional*
+outcomes (cluster counts, search counters, track labels, localization error)
+and the deterministic hardware-model figures, so a performance refactor that
+silently changes any stage's behaviour trips these tests.
+
+To regenerate the snapshots after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_pipeline.py --update-golden
+
+Integer metrics must match exactly; floats get tight relative tolerances
+(slightly looser for the NDT localization error, which amplifies platform
+rounding through ten Newton iterations).
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import scenario_names
+from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Sensor/sequence preset of the golden runs: small enough for tier-1, dense
+#: enough that every scenario produces clusters, tracks and a localization fix.
+PRESET = dict(n_frames=3, seed=7, n_beams=14, n_azimuth_steps=120)
+
+#: (relative, absolute) tolerance per metric key; anything not listed uses
+#: DEFAULT_REL.  The localization error is the one chaotic float in the set.
+FLOAT_TOLERANCES = {
+    "mean_error_m": (0.05, 5e-3),
+    "max_error_m": (0.05, 5e-3),
+}
+DEFAULT_REL = 1e-4
+
+SCENARIOS = scenario_names()
+MODES = ("baseline", "bonsai")
+
+
+@lru_cache(maxsize=None)
+def _run_metrics(scenario: str, mode: str) -> dict:
+    runner = PipelineRunner.from_scenario(
+        scenario,
+        config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai")),
+        **PRESET,
+    )
+    # Round-trip through JSON so cached values have exactly the types a
+    # loaded snapshot has.
+    return json.loads(json.dumps(runner.run().metrics()))
+
+
+def _golden_path(scenario: str, mode: str) -> Path:
+    return GOLDEN_DIR / f"pipeline_{scenario}_{mode}.json"
+
+
+def _assert_matches(actual, golden, path: str = "metrics") -> None:
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected a mapping"
+        missing = set(golden) - set(actual)
+        extra = set(actual) - set(golden)
+        assert not missing and not extra, (
+            f"{path}: keys changed (missing={sorted(missing)}, extra={sorted(extra)}); "
+            f"run --update-golden if intentional")
+        for key in golden:
+            _assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(actual) == len(golden), \
+            f"{path}: length {len(actual)} != {len(golden)}"
+        for index, (a, g) in enumerate(zip(actual, golden)):
+            _assert_matches(a, g, f"{path}[{index}]")
+    elif isinstance(golden, bool) or isinstance(golden, str) or golden is None:
+        assert actual == golden, f"{path}: {actual!r} != {golden!r}"
+    elif isinstance(golden, float) or isinstance(actual, float):
+        key = path.rsplit(".", 1)[-1]
+        rel, abs_tol = FLOAT_TOLERANCES.get(key, (DEFAULT_REL, 1e-12))
+        assert actual == pytest.approx(golden, rel=rel, abs=abs_tol), \
+            f"{path}: {actual} != {golden} (rel={rel}, abs={abs_tol})"
+    else:  # integers: exact
+        assert actual == golden, f"{path}: {actual} != {golden}"
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_pipeline_matches_golden(scenario, mode, request):
+    metrics = _run_metrics(scenario, mode)
+    path = _golden_path(scenario, mode)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), (
+        f"golden snapshot {path.name} missing; generate it with "
+        f"`pytest {__file__} --update-golden`")
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    _assert_matches(metrics, golden)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_bonsai_matches_baseline_functionally(scenario):
+    """The compressed search must not change any pipeline outcome."""
+    baseline = _run_metrics(scenario, "baseline")
+    bonsai = _run_metrics(scenario, "bonsai")
+    for key in ("n_frames", "frame_indices", "raw_points_total",
+                "filtered_points_total", "clusters_total",
+                "detections_kept_total", "confirmed_tracks_final",
+                "tracks_spawned", "track_labels"):
+        assert bonsai[key] == baseline[key], key
+    assert bonsai["cluster_search"]["points_in_radius"] == \
+        baseline["cluster_search"]["points_in_radius"]
+    assert bonsai["cluster_search"]["queries"] == \
+        baseline["cluster_search"]["queries"]
+    if baseline.get("localization"):
+        assert bonsai["localization"]["iterations_total"] == \
+            baseline["localization"]["iterations_total"]
+        assert bonsai["localization"]["mean_error_m"] == pytest.approx(
+            baseline["localization"]["mean_error_m"], rel=1e-9, abs=1e-12)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_every_scenario_is_a_real_workload(scenario):
+    """Each world must actually exercise the stages it claims to cover."""
+    metrics = _run_metrics(scenario, "baseline")
+    assert metrics["filtered_points_total"] > 50, "scenario degenerated to noise"
+    assert metrics["clusters_total"] > 0, "no clusters — nothing to perceive"
+    assert metrics["detections_kept_total"] > 0
+    assert metrics["cluster_search"]["queries"] > 0
+    assert metrics.get("localization") is not None, "localization stage did not run"
+    assert metrics["localization"]["n_scans"] == 2
+    # NDT must do better than a wild guess: the error stays well under the
+    # scenario's path length and the per-frame ego displacement is bounded.
+    assert metrics["localization"]["mean_error_m"] < 2.0
+
+
+def test_golden_dir_has_no_stale_snapshots():
+    """Every snapshot on disk corresponds to a registered scenario/mode."""
+    expected = {_golden_path(s, m).name for s in SCENARIOS for m in MODES}
+    actual = {p.name for p in GOLDEN_DIR.glob("pipeline_*.json")}
+    assert actual == expected, (
+        f"stale={sorted(actual - expected)}, missing={sorted(expected - actual)}")

@@ -1,0 +1,137 @@
+"""Tests of the scenario registry and the built-in worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import DrivingSequence, Scene, SequenceConfig
+from repro.pointcloud.scene import Box, Obstacle
+from repro.scenarios import (
+    ScenarioDefaults,
+    all_scenarios,
+    build_scene,
+    build_sequence,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+EXPECTED_SCENARIOS = {
+    "urban", "highway", "parking_lot", "tunnel", "warehouse_indoor",
+    "sparse_rural", "urban_heavy_noise", "rural_dropout",
+}
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert EXPECTED_SCENARIOS <= set(scenario_names())
+        assert len(scenario_names()) >= 6
+
+    def test_names_sorted_and_match_specs(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert [spec.name for spec in all_scenarios()] == names
+
+    def test_unknown_scenario_lists_options(self):
+        with pytest.raises(KeyError, match="tunnel"):
+            get_scenario("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("urban", "a second urban")(lambda seed: None)
+
+    def test_with_defaults_overrides_without_mutating(self):
+        spec = get_scenario("urban")
+        faster = spec.with_defaults(ego_speed_mps=20.0)
+        assert faster.defaults.ego_speed_mps == 20.0
+        assert spec.defaults.ego_speed_mps != 20.0
+        assert faster.name == spec.name
+
+    def test_every_spec_has_description_and_tags(self):
+        for spec in all_scenarios():
+            assert spec.description
+            assert isinstance(spec.defaults, ScenarioDefaults)
+            assert spec.tags
+
+
+class TestWorlds:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+    def test_scene_builds_with_obstacles_and_path(self, name):
+        scene = build_scene(name, seed=3)
+        assert isinstance(scene, Scene)
+        assert len(scene.obstacles) > 10
+        assert scene.path_length is not None and scene.path_length > 0
+        assert scene.ground_z == pytest.approx(-1.8)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+    def test_scene_factory_is_deterministic(self, name):
+        a = build_scene(name, seed=9)
+        b = build_scene(name, seed=9)
+        assert len(a.obstacles) == len(b.obstacles)
+        for oa, ob in zip(a.obstacles, b.obstacles):
+            assert oa.box.center == ob.box.center
+            assert oa.box.size == ob.box.size
+            assert oa.velocity == ob.velocity
+
+    def test_different_seeds_differ(self):
+        a = build_scene("highway", seed=1)
+        b = build_scene("highway", seed=2)
+        centers_a = [o.box.center for o in a.obstacles]
+        centers_b = [o.box.center for o in b.obstacles]
+        assert centers_a != centers_b
+
+    def test_variants_share_world_but_degrade_sensor(self):
+        base = get_scenario("sparse_rural")
+        variant = get_scenario("rural_dropout")
+        scene_a = base.scene(seed=4)
+        scene_b = variant.scene(seed=4)
+        assert [o.box.center for o in scene_a.obstacles] == \
+            [o.box.center for o in scene_b.obstacles]
+        assert variant.defaults.dropout_rate > base.defaults.dropout_rate
+
+    def test_noise_variant_produces_noisier_frames(self):
+        clean = build_sequence("urban", n_frames=1, seed=7,
+                               n_beams=14, n_azimuth_steps=120)
+        noisy = build_sequence("urban_heavy_noise", n_frames=1, seed=7,
+                               n_beams=14, n_azimuth_steps=120)
+        assert not np.array_equal(clean.frame(0).points, noisy.frame(0).points)
+
+
+class TestSequences:
+    def test_sequence_is_deterministic(self):
+        a = build_sequence("tunnel", n_frames=2, seed=5, n_beams=12,
+                           n_azimuth_steps=90)
+        b = build_sequence("tunnel", n_frames=2, seed=5, n_beams=12,
+                           n_azimuth_steps=90)
+        np.testing.assert_array_equal(a.frame(1).points, b.frame(1).points)
+
+    def test_sequence_overrides_apply(self):
+        sequence = build_sequence("highway", n_frames=3, n_beams=8,
+                                  n_azimuth_steps=64, ego_speed_mps=30.0)
+        assert len(sequence) == 3
+        assert sequence.lidar.n_rays == 8 * 64
+        assert sequence.config.ego_speed_mps == 30.0
+
+    def test_ego_position_wraps_on_scene_path_length(self):
+        sequence = build_sequence("parking_lot", n_frames=40, seed=2,
+                                  n_beams=8, n_azimuth_steps=64,
+                                  ego_speed_mps=20.0)
+        length = sequence.path_length
+        positions = [sequence.ego_position(i)[0] for i in range(len(sequence))]
+        assert all(-0.5 * length <= x <= 0.5 * length for x in positions)
+        # The lot is short enough that a 40-frame drive must wrap.
+        assert positions[-1] < max(positions)
+
+    def test_custom_scene_injection(self):
+        scene = Scene([Obstacle(Box(center=(5.0, 0.0, 0.0), size=(2.0, 2.0, 2.0)))],
+                      path_length=50.0)
+        sequence = DrivingSequence(SequenceConfig(n_frames=2), scene=scene)
+        assert sequence.scene is scene
+        assert sequence.path_length == 50.0
+        assert len(sequence.frame(0)) > 0
+
+    def test_default_sequence_still_urban(self):
+        sequence = DrivingSequence(SequenceConfig(n_frames=1))
+        assert sequence.scene.count_by_label("building") > 0
+        assert sequence.path_length == sequence.config.scene.road_length

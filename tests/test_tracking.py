@@ -114,6 +114,68 @@ class TestVelocityEstimation:
         assert tracker.tracks[0].speed < 1e-9
 
 
+class TestBoundaryBehaviour:
+    """Threshold semantics at exactly the configured boundary values."""
+
+    def test_detection_at_exact_gating_distance_is_associated(self):
+        tracker = ClusterTracker(TrackerConfig(gating_distance=2.0, confirmation_hits=1))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (2.0, 0, 0))], timestamp=0.1)
+        assert len(tracker.tracks) == 1
+        assert tracker.tracks[0].hits == 2
+
+    def test_detection_just_beyond_gate_spawns_new_track(self):
+        tracker = ClusterTracker(TrackerConfig(gating_distance=2.0, confirmation_hits=1))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (2.0 + 1e-6, 0, 0))], timestamp=0.1)
+        assert len(tracker.tracks) == 2
+
+    def test_confirmation_exactly_at_threshold(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=3))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([_detection(0, (0.1, 0, 0))], timestamp=0.1)
+        assert not tracker.tracks[0].confirmed  # 2 hits < 3
+        confirmed = tracker.update([_detection(0, (0.2, 0, 0))], timestamp=0.2)
+        assert len(confirmed) == 1  # exactly 3 hits
+
+    def test_confirmation_hits_of_one_confirms_at_spawn(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1))
+        confirmed = tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        assert len(confirmed) == 1
+
+    def test_track_survives_exactly_max_misses(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, max_misses=2))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([], timestamp=0.1)
+        tracker.update([], timestamp=0.2)
+        assert len(tracker.tracks) == 1  # misses == max_misses: still alive
+        tracker.update([], timestamp=0.3)
+        assert tracker.tracks == []  # misses > max_misses: dropped
+
+    def test_same_timestamp_update_is_safe(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, velocity_smoothing=1.0))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=1.0)
+        tracker.update([_detection(0, (0.5, 0, 0))], timestamp=1.0)
+        track = tracker.tracks[0]
+        assert track.hits == 2
+        assert track.speed == 0.0  # dt == 0: velocity untouched, no div-by-zero
+
+    def test_out_of_order_timestamp_clamps_dt(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, velocity_smoothing=1.0))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=1.0)
+        tracker.update([_detection(0, (0.1, 0, 0))], timestamp=0.5)
+        assert np.all(np.isfinite(tracker.tracks[0].velocity))
+        assert tracker.tracks[0].speed == 0.0
+
+    def test_tracks_spawned_counts_dropped_tracks(self):
+        tracker = ClusterTracker(TrackerConfig(confirmation_hits=1, max_misses=0))
+        tracker.update([_detection(0, (0, 0, 0))], timestamp=0.0)
+        tracker.update([], timestamp=0.1)  # dropped immediately
+        tracker.update([_detection(0, (50, 0, 0))], timestamp=0.2)
+        assert tracker.tracks_spawned == 2
+        assert len(tracker.tracks) == 1
+
+
 class TestOnClusteringOutput:
     def test_tracking_over_synthetic_sequence(self, small_sequence):
         """End-to-end: cluster each frame, track detections across frames."""
@@ -133,3 +195,20 @@ class TestOnClusteringOutput:
         # After the first couple of frames, persistent scene objects are tracked.
         assert confirmed_history[-1] > 0
         assert max(t.age for t in tracker.tracks) >= 2
+
+    def test_tracking_through_pipeline_runner_scenarios(self):
+        """Association across frames on a scenario with slow-moving actors."""
+        from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+        config = PipelineRunnerConfig(localization=False)
+        result = PipelineRunner.from_scenario(
+            "parking_lot", config=config, n_frames=4,
+            n_beams=14, n_azimuth_steps=120).run()
+        # Persistent parked vehicles must survive association across frames.
+        assert result.confirmed_tracks_final > 0
+        assert result.tracks_spawned >= result.confirmed_tracks_final
+        assert "vehicle" in result.track_labels
+        # Track counts per frame are monotone-ish: confirmations need 2 hits,
+        # so frame 0 can have none and later frames must have some.
+        assert result.frames[0].n_confirmed_tracks == 0
+        assert result.frames[-1].n_confirmed_tracks > 0

@@ -131,3 +131,80 @@ class TestSubsampling:
         assert 0.0 <= errors.l1_miss_ratio_difference < 0.05
         rows = errors.as_rows()
         assert len(rows) == 4
+
+
+class TestPipelineRunner:
+    """Unit behaviour of the end-to-end runner (golden tests cover outcomes)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.workloads import PipelineRunner
+
+        return PipelineRunner.from_scenario(
+            "urban", n_frames=3, seed=3, n_beams=14, n_azimuth_steps=120).run()
+
+    def test_one_record_per_selected_frame(self, result):
+        assert [f.frame_index for f in result.frames] == result.frame_indices
+        assert len(result.measurements) == len(result.frames)
+
+    def test_detections_flow_into_tracking(self, result):
+        assert all(f.n_detections_kept <= f.n_clusters for f in result.frames)
+        assert result.confirmed_tracks_final == result.frames[-1].n_confirmed_tracks
+        assert sum(result.track_labels.values()) == result.confirmed_tracks_final
+
+    def test_search_stats_aggregate_over_frames(self, result):
+        total_queries = sum(m.search_stats.queries for m in result.measurements)
+        assert result.cluster_search.queries == total_queries
+        # Every filtered point is searched exactly once by cluster growth.
+        assert total_queries == sum(f.n_filtered_points for f in result.frames)
+
+    def test_localization_against_ground_truth(self, result):
+        assert result.localization is not None
+        assert result.localization.n_scans == 2
+        assert 0.0 <= result.localization.mean_error_m \
+            <= result.localization.max_error_m < 2.0
+        assert result.localization.iterations_total >= 2
+
+    def test_metrics_are_json_serialisable_and_stage_free(self, result):
+        import json
+
+        metrics = json.loads(json.dumps(result.metrics()))
+        assert "stage_seconds" not in metrics  # wall clock never in golden data
+        assert metrics["scenario"] == "urban"
+        assert metrics["cluster_search"]["queries"] == result.cluster_search.queries
+
+    def test_n_frames_caps_at_sequence_length(self):
+        from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+        config = PipelineRunnerConfig(n_frames=99, localization=False)
+        runner = PipelineRunner.from_scenario(
+            "urban", config=config, n_frames=2, n_beams=10, n_azimuth_steps=72)
+        assert runner._select_frames() == [0, 1]
+
+    def test_subsample_selects_systematic_windows(self):
+        from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+        config = PipelineRunnerConfig(subsample=(2, 1), localization=False)
+        runner = PipelineRunner.from_scenario(
+            "urban", config=config, n_frames=6, n_beams=10, n_azimuth_steps=72)
+        assert runner._select_frames() == [0, 3]
+
+    def test_bonsai_runner_collects_bonsai_stats(self):
+        from repro.workloads import PipelineRunner
+
+        result = PipelineRunner.from_scenario(
+            "urban", n_frames=2, seed=3, n_beams=12, n_azimuth_steps=90,
+            use_bonsai=True).run()
+        assert result.cluster_bonsai is not None
+        assert result.cluster_bonsai.leaf_visits > 0
+        assert result.metrics()["cluster_bonsai"]["points_classified"] > 0
+
+    def test_from_scenario_never_mutates_caller_config(self):
+        from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+        shared = PipelineRunnerConfig()
+        runner = PipelineRunner.from_scenario(
+            "urban", config=shared, use_bonsai=True,
+            n_frames=1, n_beams=8, n_azimuth_steps=64)
+        assert runner.config.use_bonsai is True
+        assert shared.use_bonsai is False
