@@ -63,7 +63,11 @@ instead of spelling out the subpackage:
     (:class:`repro.kdtree.radius_search.SearchStats`).
 ``PipelineRunner`` / ``PipelineRunnerConfig``
     End-to-end perception pipeline over a scenario sequence
-    (:mod:`repro.workloads.pipeline`).
+    (:mod:`repro.workloads.pipeline`); ``PipelineRunnerConfig(hardware=True)``
+    routes its search stages through the trace-driven hardware models.
+``HardwareScenarioSweep``
+    Every scenario x {baseline, Bonsai} through the hardware-in-the-loop
+    pipeline (:mod:`repro.analysis.hw_sweep`).
 ``scenario_names()`` / ``get_scenario`` / ``build_scene`` / ``build_sequence``
     The scenario library registry (:mod:`repro.scenarios`).
 """
@@ -85,6 +89,7 @@ _EXPORTS = {
     "BonsaiRadiusSearch": "repro.core",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
+    "HardwareScenarioSweep": "repro.analysis",
     "build_sequence": "repro.scenarios",
     "build_scene": "repro.scenarios",
     "scenario_names": "repro.scenarios",

@@ -2,6 +2,7 @@
 
 from .boxplot import BoxPlotStats, compare_distributions
 from .compare import ComparisonSummary, MetricComparison, compare_measurements
+from .hw_sweep import HardwareScenarioRun, HardwareScenarioSweep, HardwareSweepResult
 from .metrics import (
     ClassificationErrorStats,
     FormatErrorInspector,
@@ -14,6 +15,7 @@ from .reporting import (
     render_fig9a,
     render_fig9b,
     render_fig10,
+    render_hw_matrix,
     render_table,
     render_table1,
     render_table5,
@@ -25,6 +27,9 @@ __all__ = [
     "ComparisonSummary",
     "MetricComparison",
     "compare_measurements",
+    "HardwareScenarioRun",
+    "HardwareScenarioSweep",
+    "HardwareSweepResult",
     "ClassificationErrorStats",
     "FormatErrorInspector",
     "classification_error",
@@ -34,6 +39,7 @@ __all__ = [
     "render_fig9a",
     "render_fig9b",
     "render_fig10",
+    "render_hw_matrix",
     "render_table",
     "render_table1",
     "render_table5",

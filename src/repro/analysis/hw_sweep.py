@@ -1,0 +1,128 @@
+"""Hardware-in-the-loop scenario sweep: every world through the cache model.
+
+The paper validates its cache/timing/energy claims on one urban point
+distribution.  :class:`HardwareScenarioSweep` runs every registered scenario
+(:mod:`repro.scenarios`) end-to-end through
+:class:`~repro.workloads.PipelineRunner` in hardware-in-the-loop mode
+(``hardware=True``), with the baseline and the Bonsai search, and collects
+the per-stage trace-driven hardware metrics — miss ratios, bytes moved per
+hierarchy level, cycle and energy estimates — into one structured,
+deterministic result.
+
+The result answers, in-repo, whether the paper's byte-reduction and
+cache-behaviour claims generalize beyond the urban world: dense indoor
+aisles, sparse rural fields, degraded sensors.  ``bench_scenario_hw_matrix``
+renders it as a table; ``tests/test_golden_hardware.py`` locks the underlying
+per-scenario metrics down as golden snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["HardwareScenarioRun", "HardwareSweepResult", "HardwareScenarioSweep"]
+
+#: The two search configurations every scenario runs under.
+SWEEP_MODES = ("baseline", "bonsai")
+
+
+@dataclass
+class HardwareScenarioRun:
+    """One scenario under one search configuration."""
+
+    scenario: str
+    mode: str
+    #: The full deterministic metrics dictionary of the run, including the
+    #: per-stage ``"hardware"`` section (see ``PipelineRunResult.metrics``).
+    metrics: Dict[str, object]
+
+    @property
+    def hardware(self) -> Dict[str, Dict[str, object]]:
+        """The per-stage hardware section of the run's metrics."""
+        return self.metrics["hardware"]  # type: ignore[return-value]
+
+
+@dataclass
+class HardwareSweepResult:
+    """All runs of one sweep plus the sweep's sensor/sequence preset."""
+
+    runs: List[HardwareScenarioRun]
+    n_frames: int
+    n_beams: int
+    n_azimuth_steps: int
+
+    def scenarios(self) -> List[str]:
+        """Scenario names covered by the sweep, in run order (deduplicated)."""
+        seen: Dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.scenario, None)
+        return list(seen)
+
+    def pair(self, scenario: str) -> Tuple[HardwareScenarioRun, HardwareScenarioRun]:
+        """The (baseline, bonsai) runs of one scenario."""
+        by_mode = {run.mode: run for run in self.runs if run.scenario == scenario}
+        missing = [mode for mode in SWEEP_MODES if mode not in by_mode]
+        if missing:
+            raise KeyError(f"scenario {scenario!r} missing modes {missing} in sweep")
+        return by_mode["baseline"], by_mode["bonsai"]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The whole sweep as one deterministic, JSON-serialisable mapping."""
+        return {
+            "preset": {
+                "n_frames": self.n_frames,
+                "n_beams": self.n_beams,
+                "n_azimuth_steps": self.n_azimuth_steps,
+            },
+            "scenarios": {
+                scenario: {mode: run.metrics
+                           for mode, run in zip(SWEEP_MODES, self.pair(scenario))}
+                for scenario in sorted(self.scenarios())
+            },
+        }
+
+
+class HardwareScenarioSweep:
+    """Runs every scenario x {baseline, Bonsai} in hardware-in-the-loop mode.
+
+    ``scenarios`` defaults to every registered scenario; the sensor preset
+    (``n_frames``/``n_beams``/``n_azimuth_steps``) applies to all of them so
+    the rows of the resulting matrix are comparable.  The sweep is
+    deterministic: same scenarios, same preset, same seeds, same result.
+    """
+
+    def __init__(self, scenarios: Optional[Sequence[str]] = None, *,
+                 n_frames: int = 3, seed: Optional[int] = None,
+                 n_beams: int = 18, n_azimuth_steps: int = 180):
+        from ..scenarios import scenario_names
+
+        self.scenarios = list(scenarios) if scenarios is not None else scenario_names()
+        self.n_frames = n_frames
+        self.seed = seed
+        self.n_beams = n_beams
+        self.n_azimuth_steps = n_azimuth_steps
+
+    def _run_one(self, scenario: str, mode: str) -> HardwareScenarioRun:
+        from ..workloads import PipelineRunner, PipelineRunnerConfig
+
+        runner = PipelineRunner.from_scenario(
+            scenario,
+            config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai"), hardware=True),
+            n_frames=self.n_frames, seed=self.seed,
+            n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,
+        )
+        return HardwareScenarioRun(scenario=scenario, mode=mode,
+                                   metrics=runner.run().metrics())
+
+    def run(self) -> HardwareSweepResult:
+        """Execute the sweep and return the structured result."""
+        runs = [
+            self._run_one(scenario, mode)
+            for scenario in self.scenarios
+            for mode in SWEEP_MODES
+        ]
+        return HardwareSweepResult(
+            runs=runs, n_frames=self.n_frames,
+            n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,
+        )

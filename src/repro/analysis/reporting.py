@@ -21,6 +21,7 @@ __all__ = [
     "render_fig10",
     "render_boxplot_figure",
     "render_table5",
+    "render_hw_matrix",
 ]
 
 
@@ -151,6 +152,51 @@ def render_boxplot_figure(title: str, baseline: BoxPlotStats, improved: BoxPlotS
     )
     lines.append(f"  P99 improvement:  {_pct(improvements['p99_reduction'])}")
     return "\n".join(lines)
+
+
+def render_hw_matrix(sweep) -> str:
+    """Hardware scenario matrix: per-stage cache/timing/energy, every world.
+
+    Takes a :class:`~repro.analysis.hw_sweep.HardwareSweepResult` and renders
+    one row per (scenario, stage) with the baseline and Bonsai trace-driven
+    figures side by side: L1 miss ratios, demand bytes the stage loaded,
+    line-fill bytes DRAM served to L2, and the relative cycle and energy
+    changes of the Bonsai configuration.
+    """
+    rows = []
+    for scenario in sweep.scenarios():
+        baseline, bonsai = sweep.pair(scenario)
+        for stage in sorted(baseline.hardware):
+            base = baseline.hardware[stage]
+            bon = bonsai.hardware[stage]
+            base_bytes = base["bytes_loaded"]
+            byte_change = ((bon["bytes_loaded"] - base_bytes) / base_bytes
+                           if base_bytes else 0.0)
+            cycle_change = ((bon["cycles"] - base["cycles"]) / base["cycles"]
+                            if base["cycles"] else 0.0)
+            energy_change = ((bon["energy_j"] - base["energy_j"]) / base["energy_j"]
+                             if base["energy_j"] else 0.0)
+            rows.append((
+                scenario,
+                stage,
+                _pct(base["l1_miss_ratio"]),
+                _pct(bon["l1_miss_ratio"]),
+                f"{base_bytes:,}",
+                f"{bon['bytes_loaded']:,}",
+                _pct(byte_change, signed=True),
+                f"{base['dram_to_l2_bytes']:,}",
+                f"{bon['dram_to_l2_bytes']:,}",
+                _pct(cycle_change, signed=True),
+                _pct(energy_change, signed=True),
+            ))
+    return render_table(
+        ("Scenario", "Stage", "L1 miss", "L1 miss (B)", "Demand B", "Demand B (B)",
+         "Change", "DRAM->L2 B", "DRAM->L2 B (B)", "Cycles chg", "Energy chg"),
+        rows,
+        title=(f"Hardware scenario matrix - trace-driven cache/timing/energy, "
+               f"{sweep.n_frames} frames at {sweep.n_beams}x{sweep.n_azimuth_steps} "
+               f"rays ((B) = Bonsai-extensions)"),
+    )
 
 
 def render_table5(estimates: Mapping[str, object], table_v) -> str:

@@ -23,7 +23,13 @@ The CLI exposes the most common flows without writing Python:
 ``python -m repro pipeline --scenario <name>``
     Run the end-to-end perception pipeline (clustering → filtering →
     tracking → NDT localization) over a scenario sequence and print the
-    per-stage report.
+    per-stage report.  With ``--hardware`` the search stages run through the
+    trace-driven cache/timing/energy models (:mod:`repro.hwmodel`) and the
+    per-stage hardware report (miss ratios, bytes per level, cycles,
+    energy) is printed as well.
+
+Scenario names in ``--help`` output come straight from the registry
+(:mod:`repro.scenarios`), so the listings never drift from the code.
 """
 
 from __future__ import annotations
@@ -39,7 +45,15 @@ __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser.
+
+    Scenario-taking commands pull the available names from the registry at
+    parser-build time, so ``--help`` always lists exactly the registered
+    scenarios — there is no hand-maintained list to drift.
+    """
+    from .scenarios import scenario_names
+
+    registered = ", ".join(scenario_names())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="K-D Bonsai reproduction command-line interface",
@@ -89,7 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also time the per-query reference loop and print the speed-up")
 
     scenarios = subparsers.add_parser(
-        "scenarios", help="inspect the registered scenario library")
+        "scenarios", help="inspect the registered scenario library",
+        description=f"Registered scenarios: {registered}")
     scenarios.add_argument("action", choices=("list",),
                            help="what to do (list: print the registry)")
     scenarios.add_argument("--seed", type=int, default=None,
@@ -98,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline = subparsers.add_parser(
         "pipeline", help="run the end-to-end perception pipeline on a scenario")
     pipeline.add_argument("--scenario", default="urban",
-                          help="registered scenario name (see `repro scenarios list`)")
+                          help=f"registered scenario name, one of: {registered}")
     pipeline.add_argument("--frames", type=int, default=4, help="number of frames")
     pipeline.add_argument("--seed", type=int, default=None,
                           help="scene/sensor seed (default: the scenario's)")
@@ -110,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use the K-D Bonsai compressed search")
     pipeline.add_argument("--no-localization", action="store_true",
                           help="skip the NDT localization stage")
+    pipeline.add_argument("--hardware", action="store_true",
+                          help="hardware-in-the-loop mode: run the search stages "
+                               "through the trace-driven cache/timing/energy models "
+                               "and print the per-stage hardware report")
 
     return parser
 
@@ -299,6 +318,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     config = PipelineRunnerConfig(
         use_bonsai=args.bonsai,
         localization=not args.no_localization,
+        hardware=args.hardware,
     )
     runner = PipelineRunner.from_scenario(
         args.scenario, config=config, n_frames=args.frames, seed=args.seed,
@@ -335,6 +355,25 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         b = result.cluster_bonsai
         print(f"bonsai:     {b.leaf_visits} compressed leaf visits, "
               f"inconclusive rate {b.inconclusive_rate:.3%}")
+    if result.hardware_stages is not None:
+        rows = [
+            (name,
+             f"{report.l1_miss_ratio:.2%}",
+             f"{report.l2_miss_ratio:.2%}",
+             f"{report.bytes_loaded:,}",
+             f"{report.l2_to_l1_bytes:,}",
+             f"{report.dram_to_l2_bytes:,}",
+             f"{report.cycles:,.0f}",
+             f"{report.energy_j * 1e3:.3f}")
+            for name, report in sorted(result.hardware_stages.items())
+        ]
+        print()
+        print(render_table(
+            ("Stage", "L1 miss", "L2 miss", "Demand B", "L2->L1 B",
+             "DRAM->L2 B", "Cycles", "Energy [mJ]"),
+            rows,
+            title="Hardware (trace-driven cache + first-order timing/energy)",
+        ))
     for stage, seconds in result.stage_seconds.items():
         print(f"  wall {stage:9s} {seconds * 1e3:8.1f} ms")
     return 0

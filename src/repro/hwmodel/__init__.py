@@ -1,4 +1,4 @@
-"""Hardware cost models: caches, CPU timing, energy and area."""
+"""Hardware cost models: caches, CPU timing, energy, area and stage reports."""
 
 from .area import AreaEstimate, AreaParameters, estimate_bonsai_area
 from .cache import (
@@ -11,6 +11,7 @@ from .cache import (
 )
 from .cpu_config import CPUConfig, TABLE_IV_CPU
 from .energy import TABLE_V, EnergyBreakdown, EnergyModel, EnergyParameters
+from .report import StageHardwareReport
 from .timing import KernelMetrics, TimingBreakdown, TimingModel
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "EnergyBreakdown",
     "EnergyModel",
     "EnergyParameters",
+    "StageHardwareReport",
     "KernelMetrics",
     "TimingBreakdown",
     "TimingModel",

@@ -14,6 +14,10 @@ The point of the cross-check is not to land on the exact synthesis numbers
 (those depend on the PDK and constraints) but to confirm the magnitude: the
 additions are orders of magnitude smaller than the core, unlike the
 accelerators discussed in related work.
+
+Units: areas in **mm²**, powers in **watts**, gate counts in NAND2
+equivalents.  The estimate is closed-form over the format/parameter
+constants — deterministic by construction.
 """
 
 from __future__ import annotations

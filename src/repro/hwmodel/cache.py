@@ -3,9 +3,21 @@
 Figures 9a and 10 of the paper report relative changes in L1/L2/DRAM accesses
 between the baseline and the Bonsai radius search.  The reproduction obtains
 those from a trace-driven simulation: the searches emit their loads/stores
-through a recorder, and this module replays them through an LRU
-set-associative L1D backed by an L2 and main memory, using the geometry of
-the paper's baseline CPU (Table IV: 32 KB 2-way L1D, 1 MB 16-way L2).
+through a recorder (:class:`HierarchyRecorder` implements the
+``MemoryRecorder`` protocol of :mod:`repro.kdtree.radius_search`), and this
+module replays them through an LRU set-associative L1D backed by an L2 and
+main memory, using the geometry of the paper's baseline CPU (Table IV:
+32 KB 2-way L1D, 1 MB 16-way L2, 64 B lines).
+
+Units and determinism
+---------------------
+All sizes and counters are in **bytes** and **accesses** (cache-line-granular
+at every level).  The simulation is fully deterministic: LRU replacement has
+no random state, addresses come from the synthetic
+:class:`~repro.kdtree.layout.TreeMemoryLayout`, and identical access traces
+therefore produce bit-identical :class:`CacheStats`/:class:`HierarchyStats` —
+which is what allows the golden hardware-metric snapshots
+(``tests/test_golden_hardware.py``) to pin miss counts exactly.
 """
 
 from __future__ import annotations
@@ -14,8 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache", "MemoryHierarchy",
-           "HierarchyRecorder"]
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache", "HierarchyStats",
+           "MemoryHierarchy", "HierarchyRecorder"]
 
 
 @dataclass(frozen=True)
@@ -110,10 +122,34 @@ class HierarchyStats:
 
     @property
     def l1_miss_ratio(self) -> float:
-        """L1 data-cache miss ratio."""
+        """L1 data-cache miss ratio (0.0 when the level was never accessed)."""
         if self.l1_accesses == 0:
             return 0.0
         return self.l1_misses / self.l1_accesses
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        """L2 miss ratio (0.0 when the level was never accessed)."""
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    def merge(self, other: "HierarchyStats") -> None:
+        """Accumulate ``other``'s counters into this object.
+
+        Used by the end-to-end runner to fold the per-frame hierarchies of
+        the clustering stage into one stage-level report; merging counters is
+        exact because every frame simulates its own (cold) hierarchy.
+        """
+        self.l1_accesses += other.l1_accesses
+        self.l1_misses += other.l1_misses
+        self.l2_accesses += other.l2_accesses
+        self.l2_misses += other.l2_misses
+        self.memory_accesses += other.memory_accesses
+        self.loads += other.loads
+        self.stores += other.stores
+        self.bytes_loaded += other.bytes_loaded
+        self.bytes_stored += other.bytes_stored
 
 
 class MemoryHierarchy:
@@ -174,6 +210,17 @@ class HierarchyRecorder:
 
     def __init__(self, hierarchy: Optional[MemoryHierarchy] = None):
         self.hierarchy = hierarchy or MemoryHierarchy()
+
+    @classmethod
+    def for_cpu(cls, cpu) -> "HierarchyRecorder":
+        """Recorder simulating ``cpu``'s cache geometry.
+
+        ``cpu`` is a :class:`~repro.hwmodel.cpu_config.CPUConfig`-like object
+        with ``l1d``/``l2`` cache configs.  Use this wherever a recorded
+        trace must stay consistent with the timing/energy models
+        parameterised by the same CPUConfig.
+        """
+        return cls(MemoryHierarchy(l1=cpu.l1d, l2=cpu.l2))
 
     @property
     def stats(self) -> HierarchyStats:

@@ -18,7 +18,13 @@ __all__ = ["CPUConfig", "TABLE_IV_CPU"]
 
 @dataclass(frozen=True)
 class CPUConfig:
-    """Microarchitectural parameters of the modelled core."""
+    """Microarchitectural parameters of the modelled core.
+
+    Defaults reproduce the paper's Table IV machine: a 3 GHz out-of-order
+    ARMv8 core with 32 KB 2-way L1 caches, a 1 MB 16-way L2 and DDR3-1600
+    memory.  Frequencies are in **Hz**, cache geometries in **bytes** (64 B
+    lines), and all latencies in **cycles**.
+    """
 
     name: str = "OoO ARMv8 (Cortex-A72 class)"
     frequency_hz: float = 3.0e9

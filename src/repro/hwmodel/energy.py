@@ -13,6 +13,11 @@ caches.  Both configurations share the same constants, so the *relative*
 energy change — the result the paper reports (−10.84%) — is driven by the
 measured differences in instructions, cache accesses and time.
 
+Units: per-event energies in **joules**, powers in **watts**, estimates in
+**joules**; Table V entries carry areas in **mm²**.  Like the timing model,
+the estimate is a pure function of its inputs, so identical counters and
+execution times produce identical energies (snapshot-safe).
+
 Table V's area/power overhead of the added units is taken from the paper's
 synthesis results (they are inputs of this model, not outputs); the area
 model in :mod:`repro.hwmodel.area` cross-checks them with a gate-count
@@ -71,7 +76,12 @@ TABLE_V = TableV()
 
 @dataclass(frozen=True)
 class EnergyParameters:
-    """Per-event energies (joules) and leakage power (watts)."""
+    """Per-event energies (joules) and leakage power (watts).
+
+    Defaults are 14/16 nm-class literature values paired with the Table IV
+    machine (3 GHz OoO core, 32 KB L1D, 1 MB L2, DDR3-1600); the static
+    power matches Table V's baseline-processor leakage.
+    """
 
     energy_per_instruction_j: float = 70.0e-12
     energy_per_l1_access_j: float = 20.0e-12

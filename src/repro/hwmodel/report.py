@@ -1,0 +1,135 @@
+"""Per-stage hardware reports: one trace, every model, one dictionary.
+
+The hardware-in-the-loop pipeline mode (``PipelineRunnerConfig(hardware=True)``)
+routes each search stage's memory accesses through a
+:class:`~repro.hwmodel.cache.HierarchyRecorder`.  This module turns the
+recorded :class:`~repro.hwmodel.cache.HierarchyStats` of one stage — plus the
+stage's instruction estimate — into a :class:`StageHardwareReport` that folds
+in the first-order timing and energy models, so every pipeline stage exposes
+the same structured block of hardware figures:
+
+* access/miss counts and miss ratios per cache level (trace-driven, exact);
+* **bytes moved per hierarchy level**: demand bytes the stage's loads/stores
+  requested, line-fill bytes L2 served to L1, and line-fill bytes DRAM served
+  to L2 (all in bytes; line fills are ``misses`` times the *filled* level's
+  line size);
+* cycle, execution-time (seconds) and energy (joules) estimates from
+  :class:`~repro.hwmodel.timing.TimingModel` and
+  :class:`~repro.hwmodel.energy.EnergyModel`.
+
+Determinism: every integer in the report is an exact function of the recorded
+trace, and every float is plain arithmetic over those integers and the model
+constants — two runs of the same scenario/seed/configuration produce
+identical reports, which is what the golden hardware-metric snapshots
+(``tests/test_golden_hardware.py``) lock down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cache import HierarchyStats
+from .energy import EnergyModel
+from .timing import KernelMetrics, TimingModel
+
+__all__ = ["StageHardwareReport"]
+
+
+@dataclass
+class StageHardwareReport:
+    """Hardware figures of one pipeline stage under one configuration.
+
+    Integer counters come straight from the trace-driven simulation (exact);
+    ``cycles``/``seconds``/``energy_j`` come from the first-order models
+    parameterised by the Table IV machine.
+    """
+
+    stage: str
+    instructions: int
+    loads: int
+    stores: int
+    l1_accesses: int
+    l1_misses: int
+    l2_accesses: int
+    l2_misses: int
+    memory_accesses: int
+    #: Demand bytes the stage's loads/stores requested (CPU <-> L1 traffic).
+    bytes_loaded: int
+    bytes_stored: int
+    #: Line-fill bytes moved between levels (``misses * line_size``).
+    l2_to_l1_bytes: int
+    dram_to_l2_bytes: int
+    cycles: float
+    seconds: float
+    energy_j: float
+
+    @property
+    def l1_miss_ratio(self) -> float:
+        """L1 miss ratio of the recorded trace (0.0 when never accessed)."""
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        """L2 miss ratio of the recorded trace (0.0 when never accessed)."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @classmethod
+    def from_trace(cls, stage: str, hierarchy: HierarchyStats, instructions: int,
+                   timing: TimingModel, energy: EnergyModel,
+                   bonsai_fu_ops: int = 0,
+                   l1_line_size: int = 64,
+                   l2_line_size: int = 64) -> "StageHardwareReport":
+        """Build a stage report from one recorded trace.
+
+        ``instructions`` is the stage's instruction estimate (the ISA cost
+        model plus phase budgets); ``bonsai_fu_ops`` counts operations on the
+        added Bonsai units (zero for the baseline configuration).  Line-fill
+        bytes use each level's own line size: an L1 miss pulls one
+        ``l1_line_size`` line from L2, a memory access pulls one
+        ``l2_line_size`` line from DRAM.
+        """
+        metrics = KernelMetrics.from_hierarchy(
+            instructions=instructions, loads=hierarchy.loads,
+            stores=hierarchy.stores, hierarchy=hierarchy)
+        seconds = timing.seconds(metrics)
+        return cls(
+            stage=stage,
+            instructions=instructions,
+            loads=hierarchy.loads,
+            stores=hierarchy.stores,
+            l1_accesses=hierarchy.l1_accesses,
+            l1_misses=hierarchy.l1_misses,
+            l2_accesses=hierarchy.l2_accesses,
+            l2_misses=hierarchy.l2_misses,
+            memory_accesses=hierarchy.memory_accesses,
+            bytes_loaded=hierarchy.bytes_loaded,
+            bytes_stored=hierarchy.bytes_stored,
+            l2_to_l1_bytes=hierarchy.l1_misses * l1_line_size,
+            dram_to_l2_bytes=hierarchy.memory_accesses * l2_line_size,
+            cycles=timing.cycles(metrics),
+            seconds=seconds,
+            energy_j=energy.estimate(metrics, seconds, bonsai_fu_ops).total_j,
+        )
+
+    def as_metrics(self) -> Dict[str, object]:
+        """Deterministic, JSON-serialisable metrics (golden-snapshot shape)."""
+        return {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "l1_accesses": self.l1_accesses,
+            "l1_misses": self.l1_misses,
+            "l1_miss_ratio": self.l1_miss_ratio,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "l2_miss_ratio": self.l2_miss_ratio,
+            "memory_accesses": self.memory_accesses,
+            "bytes_loaded": self.bytes_loaded,
+            "bytes_stored": self.bytes_stored,
+            "l2_to_l1_bytes": self.l2_to_l1_bytes,
+            "dram_to_l2_bytes": self.dram_to_l2_bytes,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "energy_j": self.energy_j,
+        }

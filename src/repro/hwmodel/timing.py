@@ -14,6 +14,14 @@ window hides.  Both the baseline and Bonsai kernels go through the same
 formula with their own instruction counts and cache statistics, so the
 relative changes (the numbers the paper reports) are driven entirely by the
 functional differences the library measures.
+
+Units: inputs are event **counts** (instructions, accesses, misses); outputs
+are **cycles** (floats) and **seconds** (cycles times the
+:class:`~repro.hwmodel.cpu_config.CPUConfig` cycle time; Table IV defaults
+to 3 GHz).  The model is a pure function of its inputs — no measurement, no
+randomness — so identical counters always produce identical estimates,
+which is what lets the golden harnesses snapshot its outputs with tight
+float tolerances.
 """
 
 from __future__ import annotations
@@ -29,7 +37,12 @@ __all__ = ["KernelMetrics", "TimingModel", "TimingBreakdown"]
 
 @dataclass
 class KernelMetrics:
-    """Inputs of the timing/energy models for one kernel execution."""
+    """Inputs of the timing/energy models for one kernel execution.
+
+    All fields are plain event counts: retired instructions, executed
+    loads/stores, and cache accesses/misses per level (line-granular, as the
+    trace-driven simulation of :mod:`repro.hwmodel.cache` counts them).
+    """
 
     instructions: int
     loads: int

@@ -21,7 +21,14 @@ from dataclasses import dataclass
 from ..core.bonsai_search import BonsaiStats
 from ..kdtree.radius_search import SearchStats
 
-__all__ = ["InstructionBudget", "InstructionEstimate", "estimate_baseline", "estimate_bonsai"]
+__all__ = ["InstructionBudget", "InstructionEstimate", "estimate_baseline",
+           "estimate_bonsai", "BONSAI_FU_OPS_PER_LEAF_VISIT"]
+
+#: Operations executed on the added Bonsai units per visited compressed
+#: leaf: 12 SQDWEx (four lanes x three coordinates) plus one
+#: (de)compression micro-operation.  Shared by every workload's energy
+#: accounting so the per-stage figures stay comparable.
+BONSAI_FU_OPS_PER_LEAF_VISIT = 13
 
 
 @dataclass(frozen=True)

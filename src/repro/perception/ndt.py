@@ -27,10 +27,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.bonsai_search import BonsaiRadiusSearch, BonsaiStats
+from ..core.compressed_leaf import compress_tree
 from ..kdtree.build import KDTree, build_kdtree
-from ..kdtree.radius_search import SearchStats
+from ..kdtree.layout import TreeMemoryLayout
+from ..kdtree.radius_search import MemoryRecorder, RadiusSearcher, SearchStats
 from ..pointcloud.cloud import PointCloud
-from ..runtime.batch import BatchQueryEngine
+from ..runtime.batch import BatchQueryEngine, BatchRadiusResult, as_query_batch
 from ..runtime.bonsai import BonsaiBatchSearcher
 
 __all__ = ["VoxelGaussian", "NDTConfig", "NDTResult", "NDTMap", "NDTMatcher"]
@@ -134,13 +137,41 @@ class NDTMatcher:
     :mod:`repro.runtime`, in both the baseline and the Bonsai configuration.
     Results (and the accumulated :class:`SearchStats`) are identical to
     issuing the searches one by one.
+
+    With a memory ``recorder`` attached the per-query search path is used
+    instead, so every map-tree load streams through the trace-driven cache
+    simulation (:mod:`repro.hwmodel.cache`); results stay identical — the
+    per-query hits are re-sorted by point index, matching the batched
+    engine's order, so even the floating-point summation order of the NDT
+    score is preserved.
     """
 
-    def __init__(self, ndt_map: NDTMap, use_bonsai: bool = False):
+    def __init__(self, ndt_map: NDTMap, use_bonsai: bool = False,
+                 recorder: Optional[MemoryRecorder] = None):
         self.map = ndt_map
         self.config = ndt_map.config
         self.use_bonsai = use_bonsai
-        if use_bonsai:
+        self.recorder = recorder
+        if recorder is not None:
+            layout = TreeMemoryLayout(n_points=ndt_map.tree.n_points)
+            if use_bonsai:
+                # Compress the map tree *before* attaching the recorder: map
+                # preparation is offline (unlike the per-frame clustering
+                # trees), so its compression traffic must neither enter the
+                # localization trace nor pre-warm the simulated caches.
+                if getattr(ndt_map.tree, "compressed_array", None) is None:
+                    compress_tree(ndt_map.tree)
+                self._bonsai = BonsaiRadiusSearch(
+                    ndt_map.tree, recorder=recorder, layout=layout)
+                self._single_search = self._bonsai.search
+                self._stats = self._bonsai.stats
+            else:
+                self._searcher = RadiusSearcher(
+                    ndt_map.tree, recorder=recorder, layout=layout)
+                self._single_search = self._searcher.search
+                self._stats = self._searcher.stats
+            self._batch_search = self._loop_radius_search
+        elif use_bonsai:
             self._bonsai = BonsaiBatchSearcher(ndt_map.tree)
             self._batch_search = self._bonsai.radius_search
             self._stats = self._bonsai.stats
@@ -149,10 +180,29 @@ class NDTMatcher:
             self._batch_search = self._engine.radius_search
             self._stats = self._engine.stats
 
+    def _loop_radius_search(self, queries, radius: float) -> BatchRadiusResult:
+        """Per-query searches presented in the batched (CSR) result format."""
+        batch = as_query_batch(queries)
+        offsets = np.zeros(batch.shape[0] + 1, dtype=np.intp)
+        chunks: List[np.ndarray] = []
+        for index, query in enumerate(batch):
+            hits = np.sort(np.asarray(self._single_search(query, radius),
+                                      dtype=np.intp))
+            chunks.append(hits)
+            offsets[index + 1] = offsets[index] + hits.shape[0]
+        indices = (np.concatenate(chunks) if chunks
+                   else np.zeros(0, dtype=np.intp))
+        return BatchRadiusResult(offsets=offsets, point_indices=indices)
+
     @property
     def search_stats(self) -> SearchStats:
         """Radius-search counters accumulated across registrations."""
         return self._stats
+
+    @property
+    def bonsai_stats(self) -> Optional[BonsaiStats]:
+        """Compressed-search counters (``None`` in the baseline configuration)."""
+        return self._bonsai.bonsai_stats if self.use_bonsai else None
 
     def register(self, scan: PointCloud,
                  initial_translation: Sequence[float] = (0.0, 0.0, 0.0)) -> NDTResult:

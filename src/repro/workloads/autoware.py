@@ -28,7 +28,12 @@ from ..hwmodel.cache import HierarchyRecorder, HierarchyStats
 from ..hwmodel.cpu_config import CPUConfig, TABLE_IV_CPU
 from ..hwmodel.energy import EnergyModel, EnergyParameters
 from ..hwmodel.timing import KernelMetrics, TimingModel
-from ..isa.cost_model import InstructionBudget, estimate_baseline, estimate_bonsai
+from ..isa.cost_model import (
+    BONSAI_FU_OPS_PER_LEAF_VISIT,
+    InstructionBudget,
+    estimate_baseline,
+    estimate_bonsai,
+)
 from ..kdtree.radius_search import SearchStats
 from ..perception.cluster_filter import DetectedObject, label_clusters
 from ..perception.euclidean_cluster import ClusterConfig, EuclideanClusterExtractor
@@ -142,6 +147,9 @@ class FrameMeasurement:
     #: The labelled detections the node would publish; consumed by the
     #: cluster-filtering and tracking stages of the end-to-end runner.
     detections: List[DetectedObject] = field(default_factory=list)
+    #: Raw per-frame cache-hierarchy statistics of the recorded search trace
+    #: (``None`` when ``simulate_caches`` is off and no trace was recorded).
+    hierarchy: Optional[HierarchyStats] = None
 
 
 class EuclideanClusterPipeline:
@@ -163,7 +171,8 @@ class EuclideanClusterPipeline:
         if filtered.is_empty:
             raise ValueError("pre-processing removed every point; adjust PreprocessConfig")
 
-        recorder = HierarchyRecorder() if config.simulate_caches else None
+        recorder = (HierarchyRecorder.for_cpu(config.cpu)
+                    if config.simulate_caches else None)
         extractor = EuclideanClusterExtractor(
             config=config.cluster, use_bonsai=use_bonsai, recorder=recorder,
         )
@@ -199,6 +208,7 @@ class EuclideanClusterPipeline:
                 if result.bonsai is not None and result.bonsai.report is not None else None
             ),
             detections=detections,
+            hierarchy=recorder.stats if recorder is not None else None,
         )
 
     def run_frames(self, clouds: Iterable[PointCloud],
@@ -296,8 +306,7 @@ class EuclideanClusterPipeline:
         seconds = self.timing.seconds(metrics)
         bonsai_fu_ops = 0
         if use_bonsai and bonsai_stats is not None:
-            # 12 SQDWEx per visited leaf plus one (de)compression per visit.
-            bonsai_fu_ops = bonsai_stats.leaf_visits * 13
+            bonsai_fu_ops = bonsai_stats.leaf_visits * BONSAI_FU_OPS_PER_LEAF_VISIT
         energy = self.energy.estimate(metrics, seconds, bonsai_fu_ops).total_j
         return KernelReport(
             instructions=instructions,

@@ -22,7 +22,12 @@ from ..core.bonsai_search import BonsaiStats
 from ..hwmodel.cpu_config import CPUConfig, TABLE_IV_CPU
 from ..hwmodel.energy import EnergyModel, EnergyParameters
 from ..hwmodel.timing import KernelMetrics, TimingModel
-from ..isa.cost_model import InstructionBudget, estimate_baseline, estimate_bonsai
+from ..isa.cost_model import (
+    BONSAI_FU_OPS_PER_LEAF_VISIT,
+    InstructionBudget,
+    estimate_baseline,
+    estimate_bonsai,
+)
 from ..perception.ndt import NDTConfig, NDTMap, NDTMatcher
 from ..pointcloud.cloud import PointCloud
 from ..pointcloud.filters import PreprocessConfig, preprocess_for_clustering, voxel_grid_filter
@@ -81,7 +86,7 @@ class NDTLocalizationPipeline:
     """Registers a sequence of scans against a fixed map, with cost accounting."""
 
     def __init__(self, map_cloud: PointCloud, config: Optional[LocalizationConfig] = None,
-                 use_bonsai: bool = False):
+                 use_bonsai: bool = False, recorder=None):
         self.config = config or LocalizationConfig()
         self.use_bonsai = use_bonsai
         self.timing = TimingModel(self.config.cpu)
@@ -91,7 +96,11 @@ class NDTLocalizationPipeline:
             self.config.scan_voxel_size,
         )
         self.map = NDTMap(map_filtered, self.config.ndt)
-        self.matcher = NDTMatcher(self.map, use_bonsai=use_bonsai)
+        # With a memory recorder the matcher takes the per-query search path
+        # and streams every map-tree access through the trace-driven cache
+        # simulation (the map build itself is offline and not recorded).
+        self.recorder = recorder
+        self.matcher = NDTMatcher(self.map, use_bonsai=use_bonsai, recorder=recorder)
 
     # ------------------------------------------------------------------
     # Public API
@@ -137,7 +146,8 @@ class NDTLocalizationPipeline:
             memory_accesses=int(misses * 0.3),
         )
         seconds = self.timing.seconds(metrics)
-        bonsai_fu_ops = bonsai_stats.leaf_visits * 13 if bonsai_stats is not None else 0
+        bonsai_fu_ops = (bonsai_stats.leaf_visits * BONSAI_FU_OPS_PER_LEAF_VISIT
+                         if bonsai_stats is not None else 0)
         energy = self.energy.estimate(metrics, seconds, bonsai_fu_ops).total_j
         return RegistrationMeasurement(
             scan_index=scan_index,
@@ -172,7 +182,7 @@ class NDTLocalizationPipeline:
                        stats.points_examined, stats.points_in_radius,
                        stats.point_bytes_loaded)
         if self.use_bonsai:
-            b = self.matcher._bonsai.bonsai_stats  # noqa: SLF001 - same package
+            b = self.matcher.bonsai_stats
             bonsai_copy = (b.leaf_visits, b.slices_loaded, b.compressed_bytes_loaded,
                            b.points_classified, b.conclusive_in, b.conclusive_out,
                            b.inconclusive, b.recompute_bytes_loaded)
@@ -195,7 +205,7 @@ class NDTLocalizationPipeline:
         )
         if bonsai_before is None:
             return search_delta, None
-        b = self.matcher._bonsai.bonsai_stats  # noqa: SLF001 - same package
+        b = self.matcher.bonsai_stats
         bonsai_delta = BonsaiStats(
             leaf_visits=b.leaf_visits - bonsai_before[0],
             slices_loaded=b.slices_loaded - bonsai_before[1],

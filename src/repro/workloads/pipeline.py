@@ -15,6 +15,18 @@ golden-metric regression harness (``tests/test_golden_pipeline.py``) locks
 down: a perf refactor that changes *any* stage's behaviour — cluster counts,
 search counters, localization error — trips the snapshot comparison.
 
+**Hardware-in-the-loop mode** (``PipelineRunnerConfig(hardware=True)``)
+additionally routes the clustering and localization search stages through
+the per-query recorder path, so every tree access streams through the
+trace-driven cache simulation of :mod:`repro.hwmodel`.  Functional outcomes
+are identical to the default batched path (the per-query and batched
+searches return the same results and the per-query hits are re-sorted into
+the batched order); on top of them the result carries per-stage
+:class:`~repro.hwmodel.report.StageHardwareReport` objects — miss ratios,
+bytes moved per hierarchy level, cycle and energy estimates — surfaced under
+the ``"hardware"`` key of :meth:`PipelineRunResult.metrics` and locked down
+by the golden snapshots of ``tests/test_golden_hardware.py``.
+
 Example
 -------
 >>> from repro.workloads import PipelineRunner
@@ -33,6 +45,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.bonsai_search import BonsaiStats
+from ..hwmodel.cache import HierarchyRecorder, HierarchyStats
+from ..hwmodel.energy import EnergyModel
+from ..hwmodel.report import StageHardwareReport
+from ..hwmodel.timing import TimingModel
+from ..isa.cost_model import BONSAI_FU_OPS_PER_LEAF_VISIT
 from ..kdtree.radius_search import SearchStats
 from ..perception.cluster_filter import filter_by_extent
 from ..perception.tracking import ClusterTracker, TrackerConfig
@@ -51,9 +68,9 @@ __all__ = [
 
 
 def _default_pipeline_config() -> PipelineConfig:
-    # The runner serves every frame through the batched engine; the
-    # trace-driven cache simulation (which forces the per-query path) is a
-    # per-kernel research tool, not an end-to-end one.
+    # By default the runner serves every frame through the batched engine;
+    # the trace-driven cache simulation (which forces the per-query path) is
+    # opted into end-to-end via ``PipelineRunnerConfig(hardware=True)``.
     return PipelineConfig(simulate_caches=False)
 
 
@@ -94,6 +111,13 @@ class PipelineRunnerConfig:
     max_localization_scans: int = 4
     #: Odometry-style perturbation added to the ground-truth initial guess.
     initial_translation_error: Tuple[float, float, float] = (0.3, 0.2, 0.0)
+    #: Hardware-in-the-loop mode: route the clustering and localization
+    #: search stages through the per-query recorder path so every tree access
+    #: streams through the trace-driven cache/timing/energy models
+    #: (:mod:`repro.hwmodel`).  Functional outcomes are identical to the
+    #: batched path; the result additionally carries per-stage
+    #: :class:`~repro.hwmodel.report.StageHardwareReport` objects.
+    hardware: bool = False
 
 
 @dataclass
@@ -145,6 +169,8 @@ class PipelineRunResult:
     stage_seconds: Dict[str, float]
     #: The underlying per-frame measurements (hardware-model reports).
     measurements: List[FrameMeasurement] = field(default_factory=list, repr=False)
+    #: Per-stage trace-driven hardware reports (hardware-in-the-loop runs only).
+    hardware_stages: Optional[Dict[str, StageHardwareReport]] = None
 
     def metrics(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable metrics for golden snapshots.
@@ -208,6 +234,11 @@ class PipelineRunResult:
                 "model_seconds_total": loc.model_seconds_total,
                 "energy_j_total": loc.energy_j_total,
             }
+        if self.hardware_stages is not None:
+            out["hardware"] = {
+                name: self.hardware_stages[name].as_metrics()
+                for name in sorted(self.hardware_stages)
+            }
         return out
 
 
@@ -232,7 +263,8 @@ class PipelineRunner:
                       use_bonsai: Optional[bool] = None,
                       n_frames: Optional[int] = None, seed: Optional[int] = None,
                       n_beams: Optional[int] = None,
-                      n_azimuth_steps: Optional[int] = None) -> "PipelineRunner":
+                      n_azimuth_steps: Optional[int] = None,
+                      hardware: Optional[bool] = None) -> "PipelineRunner":
         """Build a runner for a registered scenario (see :mod:`repro.scenarios`)."""
         from ..scenarios import get_scenario
 
@@ -244,6 +276,8 @@ class PipelineRunner:
             # Never mutate the caller's config: one config object must be
             # reusable for a baseline-then-Bonsai comparison.
             config = replace(config, use_bonsai=use_bonsai)
+        if hardware is not None and hardware != config.hardware:
+            config = replace(config, hardware=hardware)
         return cls(sequence, scenario=name, config=config)
 
     # ------------------------------------------------------------------
@@ -259,7 +293,13 @@ class PipelineRunner:
         clouds = [self.sequence.frame(i) for i in indices]
         stage_seconds["generate"] = time.perf_counter() - start
 
-        cluster_pipeline = EuclideanClusterPipeline(config.pipeline)
+        pipeline_config = config.pipeline
+        if config.hardware and not pipeline_config.simulate_caches:
+            # Hardware-in-the-loop: force the recorder path so the clustering
+            # searches stream through the trace-driven cache simulation.  The
+            # caller's config object is never mutated.
+            pipeline_config = replace(pipeline_config, simulate_caches=True)
+        cluster_pipeline = EuclideanClusterPipeline(pipeline_config)
         tracker = ClusterTracker(config.tracker)
         cluster_search = SearchStats()
         cluster_bonsai = BonsaiStats() if config.use_bonsai else None
@@ -301,14 +341,29 @@ class PipelineRunner:
         stage_seconds["track"] = track_s
 
         localization = None
+        localization_recorder = None
+        localization_pipeline = None
         if config.localization and len(indices) >= 2:
+            if config.hardware:
+                # The localization workload carries its own machine config;
+                # its trace must be simulated on that geometry (it matches
+                # the clustering machine under the Table IV defaults).
+                localization_recorder = HierarchyRecorder.for_cpu(
+                    config.localization_config.cpu)
             start = time.perf_counter()
-            localization = self._run_localization(indices, clouds)
+            localization, localization_pipeline = self._run_localization(
+                indices, clouds, recorder=localization_recorder)
             stage_seconds["localize"] = time.perf_counter() - start
 
         track_labels: Dict[str, int] = {}
         for track in tracker.confirmed_tracks:
             track_labels[track.label] = track_labels.get(track.label, 0) + 1
+
+        hardware_stages = None
+        if config.hardware:
+            hardware_stages = self._hardware_stages(
+                pipeline_config, measurements, cluster_bonsai,
+                localization, localization_recorder, localization_pipeline)
 
         return PipelineRunResult(
             scenario=self.scenario,
@@ -323,6 +378,7 @@ class PipelineRunner:
             localization=localization,
             stage_seconds=stage_seconds,
             measurements=measurements,
+            hardware_stages=hardware_stages,
         )
 
     # ------------------------------------------------------------------
@@ -337,13 +393,17 @@ class PipelineRunner:
         n_samples, sample_length = self.config.subsample
         return systematic_subsample(n_frames, n_samples, sample_length)
 
-    def _run_localization(self, indices: Sequence[int],
-                          clouds: Sequence) -> LocalizationReport:
+    def _run_localization(
+            self, indices: Sequence[int], clouds: Sequence,
+            recorder: Optional[HierarchyRecorder] = None,
+    ) -> Tuple[LocalizationReport, NDTLocalizationPipeline]:
         """Register later frames against the first frame's NDT map.
 
         The ground-truth relative translation between frame ``i`` and the
         map frame is the ego displacement the sequence generator applied;
-        the initial guess perturbs it like an odometry prior would.
+        the initial guess perturbs it like an odometry prior would.  With a
+        ``recorder`` the stage's map-tree searches run through the per-query
+        path and stream into the trace-driven cache simulation.
         """
         config = self.config
         n_scans = min(len(indices) - 1, config.max_localization_scans)
@@ -354,7 +414,7 @@ class PipelineRunner:
 
         pipeline = NDTLocalizationPipeline(
             clouds[0], config=config.localization_config,
-            use_bonsai=config.use_bonsai)
+            use_bonsai=config.use_bonsai, recorder=recorder)
         errors: List[float] = []
         iterations = 0
         instructions = 0
@@ -372,7 +432,7 @@ class PipelineRunner:
             bytes_loaded += measurement.point_bytes_loaded
             seconds += measurement.seconds
             energy += measurement.energy_j
-        return LocalizationReport(
+        report = LocalizationReport(
             n_scans=len(scan_indices),
             mean_error_m=float(np.mean(errors)) if errors else 0.0,
             max_error_m=float(np.max(errors)) if errors else 0.0,
@@ -382,3 +442,54 @@ class PipelineRunner:
             model_seconds_total=seconds,
             energy_j_total=energy,
         )
+        return report, pipeline
+
+    def _hardware_stages(
+            self, pipeline_config, measurements: List[FrameMeasurement],
+            cluster_bonsai: Optional[BonsaiStats],
+            localization: Optional[LocalizationReport],
+            localization_recorder: Optional[HierarchyRecorder],
+            localization_pipeline: Optional[NDTLocalizationPipeline],
+    ) -> Dict[str, StageHardwareReport]:
+        """Fold the recorded traces into per-stage hardware reports.
+
+        Both stages go through the same :meth:`StageHardwareReport.from_trace`
+        path: access/miss counts come from the recorded trace (exact), and
+        the instruction estimates feed each stage's own timing/energy models
+        (clustering: ``pipeline_config``; localization:
+        ``localization_config`` — identical Table IV machines by default),
+        so the per-stage cycle and energy figures are directly comparable.
+        """
+        cluster_trace = HierarchyStats()
+        for measurement in measurements:
+            if measurement.hierarchy is not None:
+                cluster_trace.merge(measurement.hierarchy)
+        cluster_fu_ops = (cluster_bonsai.leaf_visits * BONSAI_FU_OPS_PER_LEAF_VISIT
+                          if cluster_bonsai is not None else 0)
+        stages = {
+            "clustering": StageHardwareReport.from_trace(
+                "clustering", cluster_trace,
+                instructions=sum(m.extract.instructions for m in measurements),
+                timing=TimingModel(pipeline_config.cpu),
+                energy=EnergyModel(pipeline_config.energy),
+                bonsai_fu_ops=cluster_fu_ops,
+                l1_line_size=pipeline_config.cpu.l1d.line_size,
+                l2_line_size=pipeline_config.cpu.l2.line_size),
+        }
+        if localization is not None and localization_recorder is not None:
+            localization_fu_ops = 0
+            if localization_pipeline is not None:
+                bonsai_stats = localization_pipeline.matcher.bonsai_stats
+                if bonsai_stats is not None:
+                    localization_fu_ops = (
+                        bonsai_stats.leaf_visits * BONSAI_FU_OPS_PER_LEAF_VISIT)
+            localization_config = self.config.localization_config
+            stages["localization"] = StageHardwareReport.from_trace(
+                "localization", localization_recorder.stats,
+                instructions=localization.instructions_total,
+                timing=TimingModel(localization_config.cpu),
+                energy=EnergyModel(localization_config.energy),
+                bonsai_fu_ops=localization_fu_ops,
+                l1_line_size=localization_config.cpu.l1d.line_size,
+                l2_line_size=localization_config.cpu.l2.line_size)
+        return stages

@@ -41,6 +41,21 @@ class TestParser:
         assert args.frames == 2
         assert args.bonsai is True
         assert args.no_localization is False
+        assert args.hardware is False
+
+    def test_pipeline_hardware_flag(self):
+        args = build_parser().parse_args(["pipeline", "--hardware"])
+        assert args.hardware is True
+
+    def test_help_names_every_registered_scenario(self):
+        """--help must list the registry's scenarios, with no drift."""
+        from repro.scenarios import scenario_names
+
+        subparsers = build_parser()._subparsers._group_actions[0].choices
+        for command in ("pipeline", "scenarios"):
+            text = subparsers[command].format_help()
+            for name in scenario_names():
+                assert name in text, (command, name)
 
 
 class TestCommands:
@@ -114,6 +129,15 @@ class TestCommands:
         assert "Bonsai-extensions search" in out
         assert "bonsai:" in out
         assert "localization:" not in out
+
+    def test_pipeline_hardware(self, capsys):
+        code = main(["pipeline", "--scenario", "urban", "--frames", "3",
+                     "--beams", "12", "--azimuth-steps", "90", "--hardware"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hardware (trace-driven cache" in out
+        assert "clustering" in out and "localization" in out
+        assert "DRAM->L2 B" in out
 
     def test_pipeline_unknown_scenario(self):
         with pytest.raises(KeyError, match="unknown scenario"):

@@ -1,0 +1,87 @@
+"""Documentation lockdown: architecture doc matches the code, links resolve.
+
+The acceptance contract of ``docs/ARCHITECTURE.md`` is that its described
+module layout matches ``src/repro/`` *exactly*.  These tests enforce it —
+and check that every relative markdown link in the first-class docs resolves
+— so the docs-lint CI step fails the moment code and docs drift apart.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+README = REPO / "README.md"
+SRC = REPO / "src" / "repro"
+
+#: Relative markdown links: [text](target), excluding http(s) and anchors.
+LINK_RE = re.compile(r"\[[^\]]*\]\((?!https?://|#)([^)#\s]+)")
+
+
+def _doc_tree_entries() -> set:
+    """File names listed in the ARCHITECTURE.md module-tree code block."""
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    blocks = re.findall(r"```\n(src/repro\n.*?)```", text, flags=re.DOTALL)
+    assert blocks, "ARCHITECTURE.md lost its `src/repro` module-tree block"
+    entries = set()
+    directories = [""]
+    for line in blocks[0].splitlines()[1:]:
+        stripped = line.replace("│", " ")
+        match = re.match(r"^(\s*)(?:├──|└──)\s+(\S+)", stripped)
+        if not match:
+            continue
+        indent, name = len(match.group(1)), match.group(2)
+        depth = indent // 4 + 1
+        directories = directories[:depth]
+        if "." not in name:  # a package directory
+            directories.append(name)
+            continue
+        prefix = "/".join(d for d in directories if d)
+        entries.add(f"{prefix}/{name}" if prefix else name)
+    return entries
+
+
+def test_architecture_doc_exists():
+    assert ARCHITECTURE.exists(), "docs/ARCHITECTURE.md is a deliverable"
+
+
+def test_readme_links_architecture_doc():
+    assert "docs/ARCHITECTURE.md" in README.read_text(encoding="utf-8")
+
+
+def test_module_tree_matches_src_exactly():
+    """Every file under src/repro is in the doc tree, and vice versa."""
+    actual = {
+        str(path.relative_to(SRC))
+        for path in SRC.rglob("*")
+        if path.is_file() and path.suffix in (".py", ".md")
+        and "__pycache__" not in path.parts
+    }
+    documented = _doc_tree_entries()
+    missing = actual - documented
+    stale = documented - actual
+    assert not missing and not stale, (
+        f"docs/ARCHITECTURE.md module tree drifted from src/repro/: "
+        f"undocumented={sorted(missing)}, stale={sorted(stale)}")
+
+
+def test_every_package_described_in_layers():
+    """Each repro subpackage must be referenced as `repro.<name>` in the doc."""
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    packages = {p.name for p in SRC.iterdir()
+                if p.is_dir() and (p / "__init__.py").exists()}
+    for package in sorted(packages):
+        assert f"repro.{package}" in text, f"repro.{package} not described"
+
+
+@pytest.mark.parametrize("doc", ["docs/ARCHITECTURE.md", "README.md"],
+                         ids=["architecture", "readme"])
+def test_relative_links_resolve(doc):
+    path = REPO / doc
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        resolved = (path.parent / target).resolve()
+        assert resolved.exists(), f"{doc}: broken link -> {target}"

@@ -1,0 +1,123 @@
+"""Golden snapshots of the hardware-in-the-loop pipeline metrics.
+
+Every registered scenario runs end-to-end through
+:class:`repro.workloads.PipelineRunner` with ``hardware=True`` — baseline and
+Bonsai — and the per-stage trace-driven hardware metrics (miss counts and
+ratios, bytes moved per hierarchy level, cycle/energy estimates) are compared
+against JSON snapshots under ``tests/golden/``.  Integer counters must match
+exactly (the cache simulation is deterministic); floats get the same tight
+tolerances as the functional golden harness.
+
+To regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_hardware.py --update-golden
+
+The snapshots complement ``tests/test_golden_pipeline.py``: that file locks
+the functional outcomes of the default (batched) path, this one locks the
+memory-hierarchy behaviour of the recorded per-query path.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.hw_sweep import SWEEP_MODES
+from repro.scenarios import scenario_names
+from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+from test_golden_pipeline import PRESET, _assert_matches
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SCENARIOS = scenario_names()
+MODES = SWEEP_MODES
+
+
+@lru_cache(maxsize=None)
+def _full_metrics(scenario: str, mode: str) -> dict:
+    runner = PipelineRunner.from_scenario(
+        scenario,
+        config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai"), hardware=True),
+        **PRESET,
+    )
+    return json.loads(json.dumps(runner.run().metrics()))
+
+
+def _run_metrics(scenario: str, mode: str) -> dict:
+    # The snapshot scope of this harness is the hardware section; the
+    # functional metrics are already locked down (at identical values — see
+    # test_hardware_mode_matches_functional_golden) by the pipeline goldens.
+    metrics = _full_metrics(scenario, mode)
+    return {
+        "scenario": metrics["scenario"],
+        "use_bonsai": metrics["use_bonsai"],
+        "hardware": metrics["hardware"],
+    }
+
+
+def _golden_path(scenario: str, mode: str) -> Path:
+    return GOLDEN_DIR / f"hw_pipeline_{scenario}_{mode}.json"
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_hardware_matches_golden(scenario, mode, request):
+    metrics = _run_metrics(scenario, mode)
+    path = _golden_path(scenario, mode)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), (
+        f"golden snapshot {path.name} missing; generate it with "
+        f"`pytest {__file__} --update-golden`")
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    _assert_matches(metrics, golden)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_hardware_mode_matches_functional_golden(scenario, mode):
+    """Hardware mode must not change any functional pipeline outcome.
+
+    The per-query recorder path and the batched default path are required to
+    produce identical clusters, tracks and localization results — in both
+    search configurations — so the hardware run's functional metrics must
+    satisfy the *same* golden snapshots as the batched run.  Only the
+    ``model`` sub-dictionary is excluded: its time/energy figures
+    deliberately use the recorded cache statistics in hardware mode instead
+    of the analytic streaming fractions.
+    """
+    golden_path = GOLDEN_DIR / f"pipeline_{scenario}_{mode}.json"
+    if not golden_path.exists():  # pragma: no cover - pipeline goldens exist
+        pytest.skip("functional golden snapshots not generated yet")
+    metrics = dict(_full_metrics(scenario, mode))
+    metrics.pop("hardware")
+    metrics.pop("model")
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    golden.pop("model")
+    _assert_matches(metrics, golden)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_bonsai_moves_fewer_bytes_everywhere(scenario):
+    """The paper's central claim, checked per scenario and per stage."""
+    baseline = _run_metrics(scenario, "baseline")["hardware"]
+    bonsai = _run_metrics(scenario, "bonsai")["hardware"]
+    assert set(baseline) == {"clustering", "localization"}
+    for stage in baseline:
+        assert bonsai[stage]["bytes_loaded"] < baseline[stage]["bytes_loaded"], stage
+        assert bonsai[stage]["energy_j"] < baseline[stage]["energy_j"], stage
+
+
+def test_golden_dir_has_no_stale_hardware_snapshots():
+    """Every hardware snapshot corresponds to a registered scenario/mode."""
+    expected = {_golden_path(s, m).name for s in SCENARIOS for m in MODES}
+    actual = {p.name for p in GOLDEN_DIR.glob("hw_pipeline_*.json")}
+    assert actual == expected, (
+        f"stale={sorted(actual - expected)}, missing={sorted(expected - actual)}")
