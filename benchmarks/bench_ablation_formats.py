@@ -13,7 +13,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_table
-from repro.core import BonsaiRadiusSearch, compress_tree
+from repro.core import compress_tree
+from repro.engine import get_backend
 from repro.core.floatfmt import BFLOAT16, FLOAT16, FLOAT24
 from repro.kdtree import build_kdtree
 
@@ -29,7 +30,7 @@ def sweep(clustering_input):
     queries = [clustering_input[i] for i in range(0, len(clustering_input), 9)]
     for fmt in FORMATS:
         tree = build_kdtree(clustering_input)
-        bonsai = BonsaiRadiusSearch(tree, fmt=fmt)
+        bonsai = get_backend("bonsai-perquery", tree, fmt=fmt)
         for query in queries:
             bonsai.search(query, RADIUS)
         rows.append({
@@ -76,7 +77,7 @@ def test_ablation_formats_results_identical(benchmark, clustering_input):
     expected = [sorted(radius_search(tree, q, RADIUS)) for q in queries]
     for fmt in FORMATS:
         fresh_tree = build_kdtree(clustering_input)
-        bonsai = BonsaiRadiusSearch(fresh_tree, fmt=fmt)
+        bonsai = get_backend("bonsai-perquery", fresh_tree, fmt=fmt)
         got = [sorted(bonsai.search(q, RADIUS)) for q in queries]
         assert got == expected
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_table
-from repro.core import BonsaiRadiusSearch, compress_tree, leaf_similarity
+from repro.core import compress_tree, leaf_similarity
+from repro.engine import get_backend
 from repro.kdtree import KDTreeConfig, build_kdtree
 
 from paper_reference import write_result
@@ -28,7 +29,7 @@ def sweep(clustering_input):
         tree = build_kdtree(clustering_input, KDTreeConfig(max_leaf_size=leaf_size))
         report = compress_tree(tree)
         similarity = leaf_similarity(tree)
-        bonsai = BonsaiRadiusSearch(tree)
+        bonsai = get_backend("bonsai-perquery", tree)
         for index in range(0, len(clustering_input), 9):
             bonsai.search(clustering_input[index], RADIUS)
         rows.append({

@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import classification_error, render_table
-from repro.core import BonsaiRadiusSearch
+from repro.engine import get_backend
 from repro.core.floatfmt import FLOAT16
 from repro.kdtree import build_kdtree, radius_search
 
@@ -33,7 +33,7 @@ def shell_ablation(clustering_input):
     naive = classification_error(tree, queries, RADIUS, FLOAT16)
 
     bonsai_tree = build_kdtree(clustering_input)
-    bonsai = BonsaiRadiusSearch(bonsai_tree)
+    bonsai = get_backend("bonsai-perquery", bonsai_tree)
     mismatched_searches = 0
     for query in queries:
         expected = sorted(radius_search(tree, query, RADIUS))
@@ -79,7 +79,7 @@ def test_ablation_shell_report(benchmark, shell_ablation):
 def test_ablation_shell_kernel(benchmark, clustering_input):
     """Time the shell-protected search over a query batch."""
     tree = build_kdtree(clustering_input)
-    bonsai = BonsaiRadiusSearch(tree)
+    bonsai = get_backend("bonsai-perquery", tree)
     queries = [clustering_input[i] for i in range(0, len(clustering_input), 30)]
 
     def run():

@@ -5,6 +5,11 @@ Not a paper figure: this benchmark guards the performance contract of
 must run at least 5x faster through the batched engine than through the
 per-query reference paths, for radius search and for kNN, while returning
 identical results.
+
+It also regenerates the *backend-dimension* table: the same sweep through
+every execution backend registered in :mod:`repro.engine` (selected by
+name — no backend class is imported here), asserting identical results and
+reporting each backend's throughput side by side.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_table
+from repro.engine import PointCloudIndex, backend_names
 from repro.kdtree import build_kdtree, nearest_neighbors, radius_search
 from repro.pointcloud import preprocess_for_clustering
 from repro.runtime import batch_knn, batch_radius_search
@@ -22,6 +28,9 @@ from repro.runtime import batch_knn, batch_radius_search
 from paper_reference import write_result
 
 N_QUERIES = 10_000
+#: Query count of the all-backends table (the per-query backends run the
+#: sweep in pure Python, so the dimension table uses a lighter load).
+N_BACKEND_QUERIES = 2_000
 RADIUS = 0.6
 K = 5
 
@@ -58,6 +67,55 @@ def test_batch_radius_speedup(benchmark, sweep_setup):
         title=f"Batched radius sweep - {N_QUERIES} queries, r={RADIUS} m",
     ))
     assert speedup >= 5.0
+
+
+def test_backend_dimension_table(benchmark, sweep_setup):
+    """Every registered backend over one sweep: identical results, one table.
+
+    Backends are selected purely by registry name through the
+    :class:`~repro.engine.index.PointCloudIndex` facade; the table gives the
+    radius/kNN throughput of each, with the baseline-batched backend as the
+    reference row.
+    """
+    tree, queries = sweep_setup
+    queries = queries[:N_BACKEND_QUERIES]
+    index = PointCloudIndex(tree)
+
+    def run_all():
+        timings = {}
+        for name in backend_names():
+            backend = index.backend(name)
+            start = time.perf_counter()
+            radius_result = backend.radius_search(queries, RADIUS)
+            radius_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            knn_result = backend.knn(queries, K)
+            knn_seconds = time.perf_counter() - start
+            timings[name] = (radius_result, radius_seconds, knn_result, knn_seconds)
+        return timings
+
+    timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    reference, _, knn_reference, _ = timings["baseline-batched"]
+    for name, (radius_result, _, knn_result, _) in timings.items():
+        assert np.array_equal(radius_result.offsets, reference.offsets), name
+        assert np.array_equal(radius_result.point_indices,
+                              reference.point_indices), name
+        assert np.array_equal(knn_result.indices, knn_reference.indices), name
+
+    rows = [
+        (name,
+         f"{N_BACKEND_QUERIES / radius_seconds:,.0f}",
+         f"{N_BACKEND_QUERIES / knn_seconds:,.0f}",
+         "identical")
+        for name, (_, radius_seconds, _, knn_seconds) in sorted(timings.items())
+    ]
+    write_result("batch_backends", render_table(
+        ("Backend", "Radius q/s", "kNN q/s", "Results vs reference"),
+        rows,
+        title=(f"Execution-backend dimension - {N_BACKEND_QUERIES} queries, "
+               f"r={RADIUS} m, k={K} (one tree, backends by registry name)"),
+    ))
 
 
 def test_batch_knn_speedup(benchmark, sweep_setup):

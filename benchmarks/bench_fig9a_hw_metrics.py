@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_fig9a
-from repro.core import BonsaiRadiusSearch
+from repro.engine import get_backend
 from repro.kdtree import RadiusSearcher, build_kdtree
 
 from paper_reference import PAPER, write_result
@@ -55,7 +55,7 @@ def test_fig9a_baseline_search_kernel(benchmark, clustering_input):
 def test_fig9a_bonsai_search_kernel(benchmark, clustering_input):
     """Time the Bonsai radius-search kernel on the same queries."""
     tree = build_kdtree(clustering_input)
-    bonsai = BonsaiRadiusSearch(tree)
+    bonsai = get_backend("bonsai-perquery", tree)
     queries = [clustering_input[i] for i in range(0, len(clustering_input), 8)]
 
     def run():

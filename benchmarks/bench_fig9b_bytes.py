@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_fig9b, render_table
-from repro.core import BonsaiRadiusSearch, compress_tree
+from repro.core import compress_tree
 from repro.kdtree import build_kdtree
 
 from paper_reference import PAPER, write_result

@@ -85,10 +85,8 @@ def test_ndt_registration_kernel(benchmark, bench_sequence):
 
 def test_ndt_queries_served_by_batched_engine(benchmark, bench_sequence):
     """Each NDT iteration issues one batched query covering all scan points."""
-    from repro.runtime import BatchQueryEngine
-
     pipeline = NDTLocalizationPipeline(bench_sequence.frame(0), use_bonsai=False)
-    assert isinstance(pipeline.matcher._engine, BatchQueryEngine)  # noqa: SLF001
+    assert pipeline.matcher._backend.name == "baseline-batched"  # noqa: SLF001
     measurement = benchmark.pedantic(
         pipeline.register_scan, args=(bench_sequence.frame(1),),
         kwargs={"initial_translation": (0.5, 0.0, 0.0)}, rounds=1, iterations=1)

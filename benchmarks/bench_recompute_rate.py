@@ -48,11 +48,11 @@ def test_recompute_rate_never_affects_results(benchmark, bonsai_measurements,
 
 def test_recompute_rate_counter_kernel(benchmark, clustering_input):
     """Time the Bonsai classification counters over one query batch."""
-    from repro.core import BonsaiRadiusSearch
+    from repro.engine import get_backend
     from repro.kdtree import build_kdtree
 
     tree = build_kdtree(clustering_input)
-    bonsai = BonsaiRadiusSearch(tree)
+    bonsai = get_backend("bonsai-perquery", tree)
     queries = [clustering_input[i] for i in range(0, len(clustering_input), 15)]
 
     def run():

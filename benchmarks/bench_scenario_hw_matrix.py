@@ -3,8 +3,9 @@
 `bench_scenario_matrix` shows the compressed search moves fewer bytes on
 every scenario; this benchmark pushes the claim one layer down the stack.  It
 runs every registered world through the end-to-end pipeline in
-**hardware-in-the-loop mode** (``PipelineRunnerConfig(hardware=True)``): the
-clustering and NDT-localization searches take the per-query recorder path, so
+**hardware-in-the-loop mode** (``ExecutionConfig(backend=<name>,
+hardware=True)``): the clustering and NDT-localization searches take the
+per-query recorder path, so
 every tree access streams through the trace-driven cache hierarchy of
 :mod:`repro.hwmodel`, and each stage reports miss ratios, bytes moved per
 hierarchy level, and first-order cycle/energy estimates.
@@ -72,12 +73,14 @@ def test_scenario_hw_matrix_report(benchmark, sweep):
 
 def test_single_scenario_hw_kernel(benchmark):
     """Time one hardware-in-the-loop pipeline run on the densest world."""
+    from repro.engine import ExecutionConfig
     from repro.workloads import PipelineRunner, PipelineRunnerConfig
 
     def run():
         return PipelineRunner.from_scenario(
             "warehouse_indoor",
-            config=PipelineRunnerConfig(use_bonsai=True, hardware=True),
+            config=PipelineRunnerConfig(execution=ExecutionConfig(
+                backend="bonsai-batched", hardware=True)),
             n_frames=2, n_beams=N_BEAMS, n_azimuth_steps=N_AZIMUTH,
         ).run()
 

@@ -20,6 +20,7 @@ import os
 import pytest
 
 from repro.analysis import render_table
+from repro.engine import ExecutionConfig
 from repro.scenarios import scenario_names
 from repro.workloads import PipelineRunner, PipelineRunnerConfig
 
@@ -30,9 +31,10 @@ N_BEAMS = int(os.environ.get("REPRO_BENCH_SCENARIO_BEAMS", "18"))
 N_AZIMUTH = int(os.environ.get("REPRO_BENCH_SCENARIO_AZIMUTH", "180"))
 
 
-def _run(name: str, use_bonsai: bool):
+def _run(name: str, backend: str):
     runner = PipelineRunner.from_scenario(
-        name, config=PipelineRunnerConfig(use_bonsai=use_bonsai),
+        name,
+        config=PipelineRunnerConfig(execution=ExecutionConfig(backend=backend)),
         n_frames=N_FRAMES, n_beams=N_BEAMS, n_azimuth_steps=N_AZIMUTH,
     )
     return runner.run()
@@ -42,7 +44,7 @@ def _run(name: str, use_bonsai: bool):
 def matrix():
     """Every scenario run in both configurations."""
     return {
-        name: (_run(name, use_bonsai=False), _run(name, use_bonsai=True))
+        name: (_run(name, "baseline-batched"), _run(name, "bonsai-batched"))
         for name in scenario_names()
     }
 
@@ -95,5 +97,5 @@ def test_scenario_matrix_report(benchmark, matrix):
 
 def test_single_scenario_pipeline_kernel(benchmark):
     """Time one end-to-end baseline pipeline run on the densest world."""
-    benchmark.pedantic(lambda: _run("warehouse_indoor", use_bonsai=False),
+    benchmark.pedantic(lambda: _run("warehouse_indoor", "baseline-batched"),
                        rounds=1, iterations=2)

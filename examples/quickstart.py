@@ -6,18 +6,23 @@ frame:
 
 1. generate a point cloud with the synthetic HDL-64E model;
 2. pre-process it the way Autoware's euclidean-cluster node does;
-3. build a PCL-style k-d tree and compress its leaves (sign/exponent sharing
-   over IEEE fp16 coordinates);
-4. run radius searches over the compressed leaves and verify the results are
-   identical to the 32-bit baseline while loading far fewer bytes.
+3. index it once with :class:`repro.PointCloudIndex` and look at the
+   compression opportunity (sign/exponent sharing over IEEE fp16
+   coordinates);
+4. run radius searches through two *named execution backends* — the 32-bit
+   baseline and the compressed (Bonsai) search — and verify the results are
+   identical while the compressed backend loads far fewer bytes.
+
+Backends are selected by registry name (``repro.backend_names()``); no
+concrete search class is imported here.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import BonsaiRadiusSearch, leaf_similarity
-from repro.kdtree import SearchStats, build_kdtree, radius_search
+from repro import PointCloudIndex, backend_names
+from repro.core import leaf_similarity
 from repro.pointcloud import default_sequence, preprocess_for_clustering
 
 
@@ -32,32 +37,34 @@ def main() -> None:
     cloud = preprocess_for_clustering(raw)
     print(f"After pre-processing:   {len(cloud):6d} points")
 
-    # 3. Build the k-d tree (15 points per leaf, PCL default) and look at the
-    #    compression opportunity the paper identifies in Section III-A.
-    tree = build_kdtree(cloud)
-    similarity = leaf_similarity(tree)
-    print(f"K-d tree:               {tree.n_leaves} leaves, depth {tree.depth()}")
+    # 3. Index the cloud once (15 points per leaf, PCL default) and look at
+    #    the compression opportunity the paper identifies in Section III-A.
+    index = PointCloudIndex(cloud)
+    similarity = leaf_similarity(index.tree)
+    print(f"K-d tree:               {index.n_leaves} leaves, depth {index.tree.depth()}")
     print("Leaves sharing <sign, exponent> per coordinate: "
           + ", ".join(f"{coord}={rate:.0%}" for coord, rate in similarity.share_rates.items()))
+    print(f"Registered backends:    {', '.join(backend_names())}")
 
-    # 4. Compress the leaves and search.  BonsaiRadiusSearch compresses the
-    #    tree on construction (what the Bonsai-extensions do at build time).
-    bonsai = BonsaiRadiusSearch(tree)
-    print(f"Compressed leaf bytes:  {bonsai.report.compressed_bytes} "
-          f"({bonsai.report.compression_ratio:.0%} of the 32-bit baseline)")
+    # 4. Search through two named backends.  The first Bonsai query triggers
+    #    the lazy leaf compression (what the Bonsai-extensions do at tree
+    #    build time); results are guaranteed identical to the baseline.
+    baseline = index.backend("baseline-perquery")
+    bonsai = index.backend("bonsai-perquery")
+    print(f"Compressed leaf bytes:  {index.compression_report.compressed_bytes} "
+          f"({index.compression_report.compression_ratio:.0%} of the 32-bit baseline)")
 
-    baseline_stats = SearchStats()
     radius = 0.6
     mismatches = 0
-    for index in range(0, len(cloud), 10):
-        query = cloud[index]
-        baseline = sorted(radius_search(tree, query, radius, stats=baseline_stats))
+    for point_index in range(0, len(cloud), 10):
+        query = cloud[point_index]
+        expected = sorted(baseline.search(query, radius))
         compressed = sorted(bonsai.search(query, radius))
-        mismatches += int(baseline != compressed)
+        mismatches += int(expected != compressed)
 
-    print(f"Radius searches:        {baseline_stats.queries} queries, radius {radius} m")
+    print(f"Radius searches:        {baseline.stats.queries} queries, radius {radius} m")
     print(f"Result mismatches:      {mismatches} (guaranteed 0 by the shell test)")
-    print(f"Bytes to fetch points:  baseline {baseline_stats.point_bytes_loaded / 1e6:.2f} MB, "
+    print(f"Bytes to fetch points:  baseline {baseline.stats.point_bytes_loaded / 1e6:.2f} MB, "
           f"Bonsai {bonsai.stats.point_bytes_loaded / 1e6:.2f} MB")
     print(f"Recomputed in 32-bit:   {bonsai.bonsai_stats.inconclusive_rate:.2%} "
           f"of classifications (paper reports 0.37%)")

@@ -21,6 +21,11 @@ Subpackages
 ``repro.runtime``
     Batched, vectorised query engine: many queries per traversal, shared
     leaf-distance kernels, exact parity with the per-query paths.
+``repro.engine``
+    Unified execution-backend API: named backends (``baseline-perquery``,
+    ``baseline-batched``, ``bonsai-perquery``, ``bonsai-batched``) behind a
+    registry, the :class:`~repro.engine.index.PointCloudIndex` facade, and
+    :class:`~repro.engine.execution.ExecutionConfig` carried by workloads.
 ``repro.perception``
     Euclidean cluster extraction and a simplified NDT registration.
 ``repro.isa``
@@ -47,29 +52,38 @@ instead of spelling out the subpackage:
     (:func:`repro.kdtree.radius_search.radius_search`).
 ``nearest_neighbors(tree, query, k, ...)``
     Single-query kNN (:func:`repro.kdtree.knn.nearest_neighbors`).
-``batch_radius_search(tree, queries, radius, stats=None)``
-    Batched radius search over the vectorised engine
-    (:func:`repro.runtime.batch.batch_radius_search`).
-``batch_knn(tree, queries, k, stats=None)``
-    Batched kNN (:func:`repro.runtime.batch.batch_knn`).
+``PointCloudIndex``
+    The engine facade: build the k-d tree once, query through any named
+    backend (:class:`repro.engine.index.PointCloudIndex`).
+``backend_names()`` / ``get_backend(name, tree, **opts)``
+    The execution-backend registry (:mod:`repro.engine.registry`).
+``ExecutionConfig``
+    A workload's execution mode as data: backend name, hardware switch,
+    recorded cache geometry (:class:`repro.engine.execution.ExecutionConfig`).
 ``BatchQueryEngine`` / ``BonsaiBatchSearcher``
     Reusable batched engines, baseline and compressed
     (:mod:`repro.runtime`).
-``BonsaiRadiusSearch``
-    Compress a tree once and issue per-query Bonsai searches
-    (:class:`repro.core.bonsai_search.BonsaiRadiusSearch`).
 ``SearchStats``
     Functional search counters shared by every query path
     (:class:`repro.kdtree.radius_search.SearchStats`).
 ``PipelineRunner`` / ``PipelineRunnerConfig``
     End-to-end perception pipeline over a scenario sequence
-    (:mod:`repro.workloads.pipeline`); ``PipelineRunnerConfig(hardware=True)``
-    routes its search stages through the trace-driven hardware models.
+    (:mod:`repro.workloads.pipeline`); pass
+    ``PipelineRunnerConfig(execution=ExecutionConfig(...))`` to pick the
+    search backend and the hardware-in-the-loop mode.
 ``HardwareScenarioSweep``
     Every scenario x {baseline, Bonsai} through the hardware-in-the-loop
     pipeline (:mod:`repro.analysis.hw_sweep`).
 ``scenario_names()`` / ``get_scenario`` / ``build_scene`` / ``build_sequence``
     The scenario library registry (:mod:`repro.scenarios`).
+
+Deprecated top-level exports — kept working, delegating to the engine layer,
+but warning on use (see :mod:`repro.engine.compat`):
+
+``batch_radius_search`` / ``batch_knn``
+    Use ``PointCloudIndex`` or ``get_backend("baseline-batched", tree)``.
+``BonsaiRadiusSearch``
+    Use ``get_backend("bonsai-perquery", tree)``.
 """
 
 from importlib import import_module
@@ -82,11 +96,17 @@ _EXPORTS = {
     "radius_search": "repro.kdtree",
     "nearest_neighbors": "repro.kdtree",
     "SearchStats": "repro.kdtree",
-    "batch_radius_search": "repro.runtime",
-    "batch_knn": "repro.runtime",
+    "PointCloudIndex": "repro.engine",
+    "ExecutionConfig": "repro.engine",
+    "backend_names": "repro.engine",
+    "get_backend": "repro.engine",
     "BatchQueryEngine": "repro.runtime",
     "BonsaiBatchSearcher": "repro.runtime",
-    "BonsaiRadiusSearch": "repro.core",
+    # Deprecated entry points: resolved through repro.engine.compat, which
+    # wraps them in a DeprecationWarning while delegating to the backends.
+    "batch_radius_search": "repro.engine.compat",
+    "batch_knn": "repro.engine.compat",
+    "BonsaiRadiusSearch": "repro.engine.compat",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
     "HardwareScenarioSweep": "repro.analysis",

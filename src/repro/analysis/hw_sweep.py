@@ -21,10 +21,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["HardwareScenarioRun", "HardwareSweepResult", "HardwareScenarioSweep"]
+__all__ = ["HardwareScenarioRun", "HardwareSweepResult", "HardwareScenarioSweep",
+           "SWEEP_BACKENDS", "SWEEP_MODES", "mode_label"]
 
-#: The two search configurations every scenario runs under.
-SWEEP_MODES = ("baseline", "bonsai")
+#: The execution backends every scenario runs under (registry names).
+SWEEP_BACKENDS = ("baseline-batched", "bonsai-batched")
+
+
+def mode_label(backend: str) -> str:
+    """A backend's short mode label, unique per backend.
+
+    The default batched backends keep the historical short labels
+    (``baseline`` / ``bonsai``); any other backend is labelled by its full
+    registry name so two same-flavour backends never collide in
+    ``HardwareSweepResult.pair``, a rendered table, or a golden-snapshot
+    filename (``tests/goldens.py`` reuses this mapping).
+    """
+    flavor, strategy = backend.split("-", 1)
+    return flavor if strategy == "batched" else backend
+
+
+#: Short mode labels of the default sweep backends, used in table rows and
+#: golden-snapshot filenames.
+SWEEP_MODES = tuple(mode_label(backend) for backend in SWEEP_BACKENDS)
 
 
 @dataclass
@@ -36,6 +55,8 @@ class HardwareScenarioRun:
     #: The full deterministic metrics dictionary of the run, including the
     #: per-stage ``"hardware"`` section (see ``PipelineRunResult.metrics``).
     metrics: Dict[str, object]
+    #: Registered name of the execution backend that served the run.
+    backend: str = "baseline-batched"
 
     @property
     def hardware(self) -> Dict[str, Dict[str, object]]:
@@ -51,6 +72,9 @@ class HardwareSweepResult:
     n_frames: int
     n_beams: int
     n_azimuth_steps: int
+    #: The sweep's mode labels, in backend order (not hardwired to the
+    #: defaults — a sweep over other backends carries its own labels).
+    modes: Tuple[str, ...] = SWEEP_MODES
 
     def scenarios(self) -> List[str]:
         """Scenario names covered by the sweep, in run order (deduplicated)."""
@@ -59,13 +83,17 @@ class HardwareSweepResult:
             seen.setdefault(run.scenario, None)
         return list(seen)
 
-    def pair(self, scenario: str) -> Tuple[HardwareScenarioRun, HardwareScenarioRun]:
-        """The (baseline, bonsai) runs of one scenario."""
+    def pair(self, scenario: str) -> Tuple[HardwareScenarioRun, ...]:
+        """One scenario's runs, in the sweep's mode order.
+
+        For the default sweep this is the (baseline, bonsai) pair the
+        renderers compare.
+        """
         by_mode = {run.mode: run for run in self.runs if run.scenario == scenario}
-        missing = [mode for mode in SWEEP_MODES if mode not in by_mode]
+        missing = [mode for mode in self.modes if mode not in by_mode]
         if missing:
             raise KeyError(f"scenario {scenario!r} missing modes {missing} in sweep")
-        return by_mode["baseline"], by_mode["bonsai"]
+        return tuple(by_mode[mode] for mode in self.modes)
 
     def as_dict(self) -> Dict[str, object]:
         """The whole sweep as one deterministic, JSON-serialisable mapping."""
@@ -77,52 +105,65 @@ class HardwareSweepResult:
             },
             "scenarios": {
                 scenario: {mode: run.metrics
-                           for mode, run in zip(SWEEP_MODES, self.pair(scenario))}
+                           for mode, run in zip(self.modes, self.pair(scenario))}
                 for scenario in sorted(self.scenarios())
             },
         }
 
 
 class HardwareScenarioSweep:
-    """Runs every scenario x {baseline, Bonsai} in hardware-in-the-loop mode.
+    """Runs every scenario x execution backend in hardware-in-the-loop mode.
 
-    ``scenarios`` defaults to every registered scenario; the sensor preset
-    (``n_frames``/``n_beams``/``n_azimuth_steps``) applies to all of them so
+    ``scenarios`` defaults to every registered scenario and ``backends`` to
+    the baseline/Bonsai batched pair (``SWEEP_BACKENDS``), both selected by
+    registry name; ``cache_config`` optionally pins the recorded machine's
+    cache geometry for sensitivity sweeps.  The sensor preset
+    (``n_frames``/``n_beams``/``n_azimuth_steps``) applies to every run so
     the rows of the resulting matrix are comparable.  The sweep is
     deterministic: same scenarios, same preset, same seeds, same result.
     """
 
     def __init__(self, scenarios: Optional[Sequence[str]] = None, *,
                  n_frames: int = 3, seed: Optional[int] = None,
-                 n_beams: int = 18, n_azimuth_steps: int = 180):
+                 n_beams: int = 18, n_azimuth_steps: int = 180,
+                 backends: Optional[Sequence[str]] = None,
+                 cache_config=None):
         from ..scenarios import scenario_names
 
         self.scenarios = list(scenarios) if scenarios is not None else scenario_names()
+        self.backends = tuple(backends) if backends is not None else SWEEP_BACKENDS
+        self.cache_config = cache_config
         self.n_frames = n_frames
         self.seed = seed
         self.n_beams = n_beams
         self.n_azimuth_steps = n_azimuth_steps
 
-    def _run_one(self, scenario: str, mode: str) -> HardwareScenarioRun:
+    def _run_one(self, scenario: str, backend: str) -> HardwareScenarioRun:
+        from ..engine import ExecutionConfig
         from ..workloads import PipelineRunner, PipelineRunnerConfig
 
+        execution = ExecutionConfig(backend=backend, hardware=True,
+                                    cache_config=self.cache_config)
         runner = PipelineRunner.from_scenario(
             scenario,
-            config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai"), hardware=True),
+            config=PipelineRunnerConfig(execution=execution),
             n_frames=self.n_frames, seed=self.seed,
             n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,
         )
-        return HardwareScenarioRun(scenario=scenario, mode=mode,
-                                   metrics=runner.run().metrics())
+        return HardwareScenarioRun(scenario=scenario,
+                                   mode=mode_label(backend),
+                                   metrics=runner.run().metrics(),
+                                   backend=backend)
 
     def run(self) -> HardwareSweepResult:
         """Execute the sweep and return the structured result."""
         runs = [
-            self._run_one(scenario, mode)
+            self._run_one(scenario, backend)
             for scenario in self.scenarios
-            for mode in SWEEP_MODES
+            for backend in self.backends
         ]
         return HardwareSweepResult(
             runs=runs, n_frames=self.n_frames,
             n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,
+            modes=tuple(mode_label(backend) for backend in self.backends),
         )

@@ -14,22 +14,24 @@ The CLI exposes the most common flows without writing Python:
     Run the baseline-vs-Bonsai pipeline over a few frames and print the
     Figure 9/11/12-style summary.
 ``python -m repro batch-sweep``
-    Run a batched radius/kNN query sweep over one frame through the
-    vectorised engine (:mod:`repro.runtime`) and report throughput, search
-    statistics and — with ``--compare-loop`` — the speed-up over the
-    per-query reference paths.
+    Run a batched radius/kNN query sweep over one frame through a named
+    execution backend (``--backend``, from the :mod:`repro.engine` registry)
+    and report throughput, search statistics and — with ``--compare-loop`` —
+    the speed-up over the per-query backend of the same flavour.
 ``python -m repro scenarios list``
     Enumerate the registered scenario worlds (:mod:`repro.scenarios`).
 ``python -m repro pipeline --scenario <name>``
     Run the end-to-end perception pipeline (clustering → filtering →
     tracking → NDT localization) over a scenario sequence and print the
-    per-stage report.  With ``--hardware`` the search stages run through the
-    trace-driven cache/timing/energy models (:mod:`repro.hwmodel`) and the
-    per-stage hardware report (miss ratios, bytes per level, cycles,
-    energy) is printed as well.
+    per-stage report.  ``--backend`` selects the execution backend by name;
+    with ``--hardware`` the search stages run through the trace-driven
+    cache/timing/energy models (:mod:`repro.hwmodel`) and the per-stage
+    hardware report (miss ratios, bytes per level, cycles, energy) is
+    printed as well.
 
-Scenario names in ``--help`` output come straight from the registry
-(:mod:`repro.scenarios`), so the listings never drift from the code.
+Scenario names and backend names in ``--help`` output come straight from
+their registries (:mod:`repro.scenarios`, :mod:`repro.engine`), so the
+listings never drift from the code.
 """
 
 from __future__ import annotations
@@ -47,13 +49,16 @@ __all__ = ["build_parser", "main"]
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser.
 
-    Scenario-taking commands pull the available names from the registry at
-    parser-build time, so ``--help`` always lists exactly the registered
-    scenarios — there is no hand-maintained list to drift.
+    Scenario- and backend-taking commands pull the available names from
+    their registries at parser-build time, so ``--help`` always lists
+    exactly the registered scenarios and execution backends — there is no
+    hand-maintained list to drift.
     """
+    from .engine import backend_names
     from .scenarios import scenario_names
 
     registered = ", ".join(scenario_names())
+    backends = backend_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="K-D Bonsai reproduction command-line interface",
@@ -97,10 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of queries in the sweep")
     sweep.add_argument("--radius", type=float, default=0.6, help="search radius [m]")
     sweep.add_argument("--k", type=int, default=5, help="neighbours per kNN query")
-    sweep.add_argument("--engine", choices=("baseline", "bonsai"), default="baseline",
-                       help="leaf engine for the radius sweep")
+    sweep.add_argument("--backend", choices=backends, default=None,
+                       help="execution backend for the radius sweep "
+                            "(default: baseline-batched)")
+    sweep.add_argument("--engine", choices=("baseline", "bonsai"), default=None,
+                       help="legacy flavour selector; prefer --backend")
     sweep.add_argument("--compare-loop", action="store_true",
-                       help="also time the per-query reference loop and print the speed-up")
+                       help="also time the per-query backend of the same flavour "
+                            "and print the speed-up")
 
     scenarios = subparsers.add_parser(
         "scenarios", help="inspect the registered scenario library",
@@ -121,8 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="LiDAR beams (default: the scenario's)")
     pipeline.add_argument("--azimuth-steps", type=int, default=None,
                           help="LiDAR azimuth steps (default: the scenario's)")
+    pipeline.add_argument("--backend", choices=backends, default=None,
+                          help="execution backend serving the search stages "
+                               "(default: baseline-batched, or bonsai-batched "
+                               "with --bonsai)")
     pipeline.add_argument("--bonsai", action="store_true",
-                          help="use the K-D Bonsai compressed search")
+                          help="use the K-D Bonsai compressed search "
+                               "(shorthand for --backend bonsai-batched)")
     pipeline.add_argument("--no-localization", action="store_true",
                           help="skip the NDT localization stage")
     pipeline.add_argument("--hardware", action="store_true",
@@ -160,23 +174,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compress_stats(args: argparse.Namespace) -> int:
-    from .core import BonsaiRadiusSearch, leaf_similarity
-    from .kdtree import build_kdtree
+    from .core import leaf_similarity
+    from .engine import PointCloudIndex
     from .pointcloud import preprocess_for_clustering
 
     sequence = _sequence(args.frame + 1, args.seed)
     cloud = preprocess_for_clustering(sequence.frame(args.frame))
-    tree = build_kdtree(cloud)
-    similarity = leaf_similarity(tree)
-    bonsai = BonsaiRadiusSearch(tree)
-    for index in range(0, len(cloud), 10):
-        bonsai.search(cloud[index], args.radius)
+    index = PointCloudIndex(cloud)
+    similarity = leaf_similarity(index.tree)
+    bonsai = index.backend("bonsai-perquery")
+    for point_index in range(0, len(cloud), 10):
+        bonsai.search(cloud[point_index], args.radius)
+    report = index.compression_report
 
-    print(f"frame {args.frame}: {len(cloud)} points, {tree.n_leaves} leaves")
+    print(f"frame {args.frame}: {len(cloud)} points, {index.n_leaves} leaves")
     for coord, rate in similarity.share_rates.items():
         print(f"  {coord} sign/exponent shared in {rate:.1%} of leaves")
-    print(f"  compressed footprint: {bonsai.report.compressed_bytes} B "
-          f"({bonsai.report.compression_ratio:.1%} of baseline)")
+    print(f"  compressed footprint: {report.compressed_bytes} B "
+          f"({report.compression_ratio:.1%} of baseline)")
     print(f"  recompute rate at radius {args.radius} m: "
           f"{bonsai.bonsai_stats.inconclusive_rate:.3%}")
     return 0
@@ -229,63 +244,76 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """The sweep's backend name from ``--backend`` (or legacy ``--engine``).
+
+    Contradictory selections (``--engine bonsai --backend baseline-...``)
+    are an error rather than a silent precedence.
+    """
+    engine = getattr(args, "engine", None)
+    if args.backend is not None:
+        if engine is not None and engine != args.backend.split("-", 1)[0]:
+            raise SystemExit(
+                f"repro batch-sweep: --engine {engine} conflicts with "
+                f"--backend {args.backend}")
+        return args.backend
+    return "bonsai-batched" if engine == "bonsai" else "baseline-batched"
+
+
 def _cmd_batch_sweep(args: argparse.Namespace) -> int:
     import time
 
-    from .kdtree import build_kdtree, nearest_neighbors, radius_search
+    from .engine import PointCloudIndex
     from .pointcloud import preprocess_for_clustering
-    from .runtime import BatchQueryEngine, BonsaiBatchSearcher
-    from .core import BonsaiRadiusSearch
 
     sequence = _sequence(args.frame + 1, args.seed)
     cloud = preprocess_for_clustering(sequence.frame(args.frame))
-    tree = build_kdtree(cloud)
+    index = PointCloudIndex(cloud)
 
     rng = np.random.default_rng(args.seed * 13 + 1)
     base = cloud.points[rng.integers(0, len(cloud), args.queries)]
     queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
 
-    use_bonsai = args.engine == "bonsai"
-    engine = BonsaiBatchSearcher(tree) if use_bonsai else BatchQueryEngine(tree)
-    knn_engine = BatchQueryEngine(tree)
+    backend_name = _resolve_backend(args)
+    backend = index.backend(backend_name)
 
     start = time.perf_counter()
-    radius_result = engine.radius_search(queries, args.radius)
+    radius_result = backend.radius_search(queries, args.radius)
     radius_seconds = time.perf_counter() - start
     start = time.perf_counter()
-    knn_result = knn_engine.knn(queries, args.k)
+    knn_result = backend.knn(queries, args.k)
     knn_seconds = time.perf_counter() - start
 
     n_queries = max(args.queries, 0)
     mean_neighbors = radius_result.counts.mean() if n_queries else 0.0
     mean_nearest = knn_result.distances[:, 0].mean() if n_queries else 0.0
-    print(f"frame {args.frame}: {len(cloud)} points, {tree.n_leaves} leaves, "
-          f"{n_queries} queries ({args.engine} engine)")
+    print(f"frame {args.frame}: {len(cloud)} points, {index.n_leaves} leaves, "
+          f"{n_queries} queries ({backend_name} backend)")
     print(f"  radius {args.radius} m: {radius_result.total_matches} matches, "
           f"{mean_neighbors:.1f} neighbours/query, "
           f"{n_queries / radius_seconds:,.0f} queries/s")
     print(f"  knn k={args.k}: mean nearest distance {mean_nearest:.3f} m, "
           f"{n_queries / knn_seconds:,.0f} queries/s")
-    stats = engine.stats
+    stats = backend.stats
     print(f"  stats: {stats.leaves_visited / max(stats.queries, 1):.1f} leaf visits/query, "
           f"{stats.points_examined} points examined, "
           f"{stats.point_bytes_loaded} B of leaf points loaded")
 
     if args.compare_loop:
-        single_search = BonsaiRadiusSearch(tree).search if use_bonsai else (
-            lambda q, r: radius_search(tree, q, r))
+        flavor = backend_name.split("-", 1)[0]
+        loop_backend = index.backend(f"{flavor}-perquery")
         start = time.perf_counter()
         for query in queries:
-            single_search(query, args.radius)
+            loop_backend.search(query, args.radius)
         loop_radius_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        for query in queries:
-            nearest_neighbors(tree, query, args.k)
+        loop_backend.knn(queries, args.k)
         loop_knn_seconds = time.perf_counter() - start
-        print(f"  per-query loop: radius {args.queries / loop_radius_seconds:,.0f} queries/s "
-              f"(batched is {loop_radius_seconds / radius_seconds:.1f}x faster), "
+        print(f"  {flavor}-perquery backend: "
+              f"radius {args.queries / loop_radius_seconds:,.0f} queries/s "
+              f"({backend_name} is {loop_radius_seconds / radius_seconds:.1f}x faster), "
               f"knn {args.queries / loop_knn_seconds:,.0f} queries/s "
-              f"(batched is {loop_knn_seconds / knn_seconds:.1f}x faster)")
+              f"({backend_name} is {loop_knn_seconds / knn_seconds:.1f}x faster)")
     return 0
 
 
@@ -313,12 +341,18 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from .analysis import render_table
+    from .engine import ExecutionConfig
     from .workloads import PipelineRunner, PipelineRunnerConfig
 
+    backend = args.backend
+    if backend is None:
+        backend = "bonsai-batched" if args.bonsai else "baseline-batched"
+    elif args.bonsai and not backend.startswith("bonsai-"):
+        raise SystemExit(
+            f"repro pipeline: --bonsai conflicts with --backend {backend}")
     config = PipelineRunnerConfig(
-        use_bonsai=args.bonsai,
+        execution=ExecutionConfig(backend=backend, hardware=args.hardware),
         localization=not args.no_localization,
-        hardware=args.hardware,
     )
     runner = PipelineRunner.from_scenario(
         args.scenario, config=config, n_frames=args.frames, seed=args.seed,
@@ -327,7 +361,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     result = runner.run()
     metrics = result.metrics()
 
-    mode = "Bonsai-extensions" if args.bonsai else "baseline"
+    mode = "Bonsai-extensions" if config.execution.use_bonsai else "baseline"
     rows = [
         (f.frame_index, f.n_raw_points, f.n_filtered_points, f.n_clusters,
          f.n_detections_kept, f.n_confirmed_tracks,
@@ -337,7 +371,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(render_table(
         ("Frame", "Raw pts", "Filtered", "Clusters", "Kept", "Tracks", "Latency [ms]"),
         rows,
-        title=f"Pipeline `{args.scenario}` ({mode} search, {len(result.frames)} frames)",
+        title=f"Pipeline `{args.scenario}` ({mode} search via {result.backend}, "
+              f"{len(result.frames)} frames)",
     ))
     search = metrics["cluster_search"]
     print(f"\nclustering: {search['queries']} queries, "

@@ -1,0 +1,63 @@
+"""Unified execution-backend API for the K-D Bonsai reproduction.
+
+One protocol, four named backends, one facade.  The paper's claims are
+comparisons between execution modes; this layer makes the mode a *name*
+(``baseline-perquery`` / ``baseline-batched`` / ``bonsai-perquery`` /
+``bonsai-batched``), selected through a registry, composable with a
+hardware-recording wrapper, and carried by workload configs as
+:class:`ExecutionConfig` data instead of scattered boolean flags.
+
+Public API
+----------
+:class:`PointCloudIndex`
+    The facade: builds the k-d tree once, compresses it lazily on first
+    Bonsai use, serves radius/kNN queries through any named backend with
+    uniform batched results and merged statistics.
+:func:`backend_names` / :func:`get_backend`
+    The registry (the single source of valid backend names).
+:class:`ExecutionConfig`
+    A workload's execution mode as one value (backend name + hardware
+    switch + recorded cache geometry).
+:func:`recorded`
+    Hardware-recording wrapper: any backend's per-query recorded
+    counterpart with bitwise-identical functional results.
+:class:`SearchBackend`
+    The protocol every backend implements.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.engine import PointCloudIndex, backend_names
+>>> points = np.random.default_rng(1).uniform(-5, 5, (1000, 3)).astype(np.float32)
+>>> index = PointCloudIndex(points)
+>>> sorted(backend_names())[:2]
+['baseline-batched', 'baseline-perquery']
+>>> index.radius_search(points[:8], radius=0.5, backend="bonsai-batched").n_queries
+8
+"""
+
+from .backends import (
+    BaselineBatchedBackend,
+    BaselinePerQueryBackend,
+    BonsaiBatchedBackend,
+    BonsaiPerQueryBackend,
+    SearchBackend,
+    recorded,
+)
+from .execution import ExecutionConfig
+from .index import PointCloudIndex
+from .registry import backend_names, get_backend, register_backend
+
+__all__ = [
+    "SearchBackend",
+    "BaselinePerQueryBackend",
+    "BaselineBatchedBackend",
+    "BonsaiPerQueryBackend",
+    "BonsaiBatchedBackend",
+    "recorded",
+    "ExecutionConfig",
+    "PointCloudIndex",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

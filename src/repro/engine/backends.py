@@ -1,0 +1,326 @@
+"""Execution backends: one query surface over every search implementation.
+
+The repo grew four ways to answer the same two questions ("which points are
+within ``r`` of these queries?", "which ``k`` points are nearest?"):
+per-query baseline search, the batched vectorised engine, and the Bonsai
+compressed variants of both — plus a recorded flavour that streams every
+tree access through the trace-driven cache simulation.  Each spelled its own
+API, so every consumer (workloads, benchmarks, the CLI) carried
+``use_bonsai`` / ``simulate_caches`` / ``hardware`` boolean triples.
+
+This module normalises them behind one :class:`SearchBackend` protocol:
+
+==================== ============================================== =========
+name                 implementation                                 leaf data
+==================== ============================================== =========
+``baseline-perquery`` one traversal per query                        32-bit
+``baseline-batched``  one traversal per batch (:mod:`repro.runtime`) 32-bit
+``bonsai-perquery``   per-query compressed search (:mod:`repro.core`) compressed
+``bonsai-batched``    batched compressed search                      compressed
+==================== ============================================== =========
+
+Every backend — whatever its internal execution strategy — returns the
+uniform batched containers (:class:`~repro.runtime.batch.BatchRadiusResult`,
+:class:`~repro.runtime.batch.BatchKNNResult`) with per-query index-sorted
+radius hits, and accumulates the shared counters
+(:class:`~repro.kdtree.radius_search.SearchStats`, plus
+:class:`~repro.core.bonsai_search.BonsaiStats` for the compressed flavours).
+All four produce *identical* functional results; the cross-backend parity
+suite (``tests/test_backend_parity.py``) locks that down.
+
+Any backend composes with :func:`recorded`, which rebuilds it on the
+per-query path with a :class:`~repro.hwmodel.cache.HierarchyRecorder`
+attached, so every tree access streams through the cache simulation while
+the functional results stay bitwise unchanged.
+
+Backends are constructed by name through :mod:`repro.engine.registry`
+(:func:`~repro.engine.registry.get_backend`); nothing outside this package
+should instantiate the concrete classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.bonsai_search import BonsaiRadiusSearch, BonsaiStats
+from ..core.floatfmt import FLOAT16, FloatFormat
+from ..kdtree.build import KDTree
+from ..kdtree.knn import nearest_neighbors
+from ..kdtree.layout import TreeMemoryLayout
+from ..kdtree.radius_search import MemoryRecorder, SearchStats, radius_search
+from ..runtime.batch import (
+    BatchKNNResult,
+    BatchQueryEngine,
+    BatchRadiusResult,
+    as_query_batch,
+)
+from ..runtime.bonsai import BonsaiBatchSearcher
+
+__all__ = [
+    "SearchBackend",
+    "BaselinePerQueryBackend",
+    "BaselineBatchedBackend",
+    "BonsaiPerQueryBackend",
+    "BonsaiBatchedBackend",
+    "recorded",
+]
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """What every execution backend exposes (duck-typed).
+
+    ``radius_search`` / ``knn`` take whole query batches and return the
+    uniform batched result containers; ``search`` is the single-query
+    convenience used by per-query consumers (its return order is the
+    backend's native traversal order, which the recorded paths depend on).
+    ``stats`` always accumulates; ``bonsai_stats`` is ``None`` on the
+    baseline flavours and ``recorder`` is ``None`` on unrecorded backends.
+    """
+
+    name: str
+    tree: KDTree
+    stats: SearchStats
+    bonsai_stats: Optional[BonsaiStats]
+    recorder: Optional[MemoryRecorder]
+
+    def radius_search(self, queries, radius: float) -> BatchRadiusResult:  # pragma: no cover - protocol
+        ...
+
+    def knn(self, queries, k: int) -> BatchKNNResult:  # pragma: no cover - protocol
+        ...
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:  # pragma: no cover - protocol
+        ...
+
+
+class _PerQueryBackendBase:
+    """Shared machinery of the per-query flavours.
+
+    Single queries go through the reference per-query search; batches loop
+    over it and present the hits in the batched CSR layout with each query's
+    indices sorted — bitwise identical to the batched engines' output (the
+    property the hardware-in-the-loop pipeline relies on).  kNN batches loop
+    over the per-query branch-and-bound search into the dense
+    :class:`BatchKNNResult` layout.
+    """
+
+    name = "perquery"
+    #: "baseline" or "bonsai"; :func:`recorded` rebuilds a backend of the
+    #: same flavour with a recorder attached.
+    flavor = "baseline"
+
+    tree: KDTree
+    stats: SearchStats
+    recorder: Optional[MemoryRecorder]
+
+    @property
+    def hierarchy(self):
+        """Cache-hierarchy statistics of the recorder (``None`` unrecorded)."""
+        return getattr(self.recorder, "stats", None)
+
+    def radius_search(self, queries, radius: float) -> BatchRadiusResult:
+        """Per-query searches presented in the batched (CSR) result format."""
+        if radius <= 0.0:
+            raise ValueError("radius must be positive")
+        batch = as_query_batch(queries)
+        offsets = np.zeros(batch.shape[0] + 1, dtype=np.intp)
+        chunks: List[np.ndarray] = []
+        for index, query in enumerate(batch):
+            hits = np.sort(np.asarray(self.search(query, radius), dtype=np.intp))
+            chunks.append(hits)
+            offsets[index + 1] = offsets[index] + hits.shape[0]
+        indices = (np.concatenate(chunks) if chunks
+                   else np.zeros(0, dtype=np.intp))
+        return BatchRadiusResult(offsets=offsets, point_indices=indices)
+
+    def knn(self, queries, k: int) -> BatchKNNResult:
+        """Per-query kNN presented in the dense batched result layout.
+
+        Both flavours answer kNN through the exact 32-bit branch-and-bound
+        search (radius search is the operation the compressed leaves
+        accelerate; the compressed-kNN extension lives separately in
+        :mod:`repro.core.bonsai_knn`), so all backends return identical
+        neighbours.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        batch = as_query_batch(queries)
+        width = min(k, self.tree.n_points)
+        indices = np.full((batch.shape[0], width), -1, dtype=np.intp)
+        distances = np.full((batch.shape[0], width), np.inf)
+        for row, query in enumerate(batch):
+            for column, (point_index, distance) in enumerate(
+                    nearest_neighbors(self.tree, query, k, stats=self.stats)):
+                indices[row, column] = point_index
+                distances[row, column] = distance
+        return BatchKNNResult(indices=indices, distances=distances)
+
+
+class BaselinePerQueryBackend(_PerQueryBackendBase):
+    """One 32-bit traversal per query (the PCL/FLANN reference path)."""
+
+    name = "baseline-perquery"
+    flavor = "baseline"
+
+    def __init__(self, tree: KDTree, *, stats: Optional[SearchStats] = None,
+                 recorder: Optional[MemoryRecorder] = None,
+                 layout: Optional[TreeMemoryLayout] = None):
+        self.tree = tree
+        self.stats = stats if stats is not None else SearchStats()
+        self.recorder = recorder
+        self.layout = layout or (TreeMemoryLayout(n_points=tree.n_points)
+                                 if recorder is not None else None)
+        self.bonsai_stats: Optional[BonsaiStats] = None
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Single-query radius search (native traversal order)."""
+        return radius_search(self.tree, query, radius, stats=self.stats,
+                             recorder=self.recorder, layout=self.layout)
+
+
+class BonsaiPerQueryBackend(_PerQueryBackendBase):
+    """One compressed-leaf traversal per query (the paper's search).
+
+    Compresses the tree on construction when it is not already compressed;
+    with a recorder attached, that build-time compression traffic is part of
+    the recorded trace (as in the extract kernel), whereas a pre-compressed
+    tree — an offline map — contributes nothing.
+    """
+
+    name = "bonsai-perquery"
+    flavor = "bonsai"
+
+    def __init__(self, tree: KDTree, *, fmt: FloatFormat = FLOAT16,
+                 stats: Optional[SearchStats] = None,
+                 recorder: Optional[MemoryRecorder] = None,
+                 layout: Optional[TreeMemoryLayout] = None):
+        self.tree = tree
+        self.fmt = fmt
+        self.recorder = recorder
+        self.layout = layout or (TreeMemoryLayout(n_points=tree.n_points)
+                                 if recorder is not None else None)
+        self._bonsai = BonsaiRadiusSearch(tree, fmt=fmt, recorder=recorder,
+                                          layout=self.layout)
+        if stats is not None:
+            self._bonsai.stats = stats
+        self.stats = self._bonsai.stats
+        #: Tree-compression report (``None`` when the tree was pre-compressed).
+        self.report = self._bonsai.report
+
+    @property
+    def bonsai_stats(self) -> BonsaiStats:
+        """Compressed-leaf counters of the underlying inspector."""
+        return self._bonsai.bonsai_stats
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Single-query compressed radius search (native traversal order)."""
+        return self._bonsai.search(query, radius)
+
+
+class BaselineBatchedBackend:
+    """One 32-bit traversal per query *batch* (:mod:`repro.runtime`)."""
+
+    name = "baseline-batched"
+    flavor = "baseline"
+
+    def __init__(self, tree: KDTree, *, stats: Optional[SearchStats] = None):
+        self.tree = tree
+        self._engine = BatchQueryEngine(tree, stats=stats)
+        self.stats = self._engine.stats
+        self.bonsai_stats: Optional[BonsaiStats] = None
+        self.recorder: Optional[MemoryRecorder] = None
+
+    def radius_search(self, queries, radius: float) -> BatchRadiusResult:
+        """Batched radius search (per-query index-sorted CSR result)."""
+        return self._engine.radius_search(queries, radius)
+
+    def knn(self, queries, k: int) -> BatchKNNResult:
+        """Batched kNN (dense, distance-then-index sorted rows)."""
+        return self._engine.knn(queries, k)
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Single-query convenience wrapper (sorted point indices)."""
+        return self._engine.search(query, radius)
+
+
+class BonsaiBatchedBackend:
+    """One compressed-leaf traversal per query batch, decoded once per leaf."""
+
+    name = "bonsai-batched"
+    flavor = "bonsai"
+
+    def __init__(self, tree: KDTree, *, fmt: FloatFormat = FLOAT16,
+                 stats: Optional[SearchStats] = None):
+        self.tree = tree
+        self.fmt = fmt
+        self._searcher = BonsaiBatchSearcher(tree, fmt=fmt)
+        if stats is not None:
+            self._searcher.stats = stats
+        self.stats = self._searcher.stats
+        self.recorder: Optional[MemoryRecorder] = None
+        #: Tree-compression report (``None`` when the tree was pre-compressed).
+        self.report = self._searcher.report
+        # kNN goes through the baseline batched engine (see
+        # ``_PerQueryBackendBase.knn`` for why), sharing this backend's stats.
+        self._knn_engine = BatchQueryEngine(tree, stats=self.stats)
+
+    @property
+    def bonsai_stats(self) -> BonsaiStats:
+        """Compressed-leaf counters of the underlying batch searcher."""
+        return self._searcher.bonsai_stats
+
+    def radius_search(self, queries, radius: float) -> BatchRadiusResult:
+        """Batched compressed radius search; identical results to baseline."""
+        return self._searcher.radius_search(queries, radius)
+
+    def knn(self, queries, k: int) -> BatchKNNResult:
+        """Batched kNN over the 32-bit points (exact, same as baseline)."""
+        return self._knn_engine.knn(queries, k)
+
+    def search(self, query: Sequence[float], radius: float) -> List[int]:
+        """Single-query convenience wrapper (sorted point indices)."""
+        return self._searcher.search(query, radius)
+
+
+def recorded(backend: SearchBackend, *,
+             recorder: Optional[MemoryRecorder] = None,
+             cpu=None) -> SearchBackend:
+    """A hardware-recorded counterpart of ``backend`` over the same tree.
+
+    Trace-driven cache simulation depends on the exact order of the recorded
+    memory accesses, so the recorded counterpart always executes on the
+    per-query path — regardless of the wrapped backend's strategy — with a
+    :class:`~repro.hwmodel.cache.HierarchyRecorder` attached.  Functional
+    results are bitwise identical to the unrecorded backend's (the per-query
+    hits are re-sorted into the batched order); the parity suite asserts
+    this for every named backend.
+
+    Parameters
+    ----------
+    backend:
+        Any constructed backend; only its tree and flavour are reused (the
+        recorded backend accumulates its own fresh statistics).  The
+        flavour's ``<flavor>-perquery`` backend must be registered — a
+        custom flavour without a per-query counterpart is an error, not a
+        silent fallback to the baseline.
+    recorder:
+        The recorder to attach; built from ``cpu`` when omitted.
+    cpu:
+        Cache geometry (:class:`~repro.hwmodel.cpu_config.CPUConfig`) for
+        the default recorder; the paper's Table IV machine when omitted.
+    """
+    from .registry import get_backend
+
+    if recorder is None:
+        from ..hwmodel.cache import HierarchyRecorder
+        if cpu is None:
+            from ..hwmodel.cpu_config import TABLE_IV_CPU
+            cpu = TABLE_IV_CPU
+        recorder = HierarchyRecorder.for_cpu(cpu)
+    flavor = getattr(backend, "flavor", None) or backend.name.split("-", 1)[0]
+    opts = {"fmt": backend.fmt} if hasattr(backend, "fmt") else {}
+    return get_backend(f"{flavor}-perquery", backend.tree,
+                       recorder=recorder, **opts)

@@ -1,0 +1,67 @@
+"""Deprecated entry points, delegating to the engine backends.
+
+The unified backend API (:mod:`repro.engine`) supersedes the mode-specific
+top-level entry points that predate it.  They keep working — delegating to
+the registry so behaviour is byte-identical — but emit a
+``DeprecationWarning`` pointing at the replacement.  ``repro/__init__``
+resolves the deprecated names to the wrappers defined here.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+from ..core.floatfmt import FLOAT16, FloatFormat
+from ..kdtree.build import KDTree
+from ..kdtree.radius_search import SearchStats
+from ..runtime.batch import BatchKNNResult, BatchRadiusResult
+from .registry import get_backend
+
+__all__ = ["batch_radius_search", "batch_knn", "BonsaiRadiusSearch"]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; select an execution backend by name "
+        f"instead: {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def batch_radius_search(tree: KDTree, queries, radius: float,
+                        stats: Optional[SearchStats] = None) -> BatchRadiusResult:
+    """Deprecated alias of the ``baseline-batched`` backend's radius search.
+
+    Use ``PointCloudIndex(...).radius_search(queries, radius)`` or
+    ``get_backend("baseline-batched", tree)``; results are identical.
+    """
+    _warn("batch_radius_search",
+          'PointCloudIndex(cloud).radius_search(queries, radius) or '
+          'get_backend("baseline-batched", tree).radius_search(...)')
+    return get_backend("baseline-batched", tree,
+                       stats=stats).radius_search(queries, radius)
+
+
+def batch_knn(tree: KDTree, queries, k: int,
+              stats: Optional[SearchStats] = None) -> BatchKNNResult:
+    """Deprecated alias of the ``baseline-batched`` backend's kNN."""
+    _warn("batch_knn",
+          'PointCloudIndex(cloud).knn(queries, k) or '
+          'get_backend("baseline-batched", tree).knn(...)')
+    return get_backend("baseline-batched", tree, stats=stats).knn(queries, k)
+
+
+def BonsaiRadiusSearch(tree: KDTree, fmt: FloatFormat = FLOAT16,
+                       recorder=None, layout=None):
+    """Deprecated alias of the ``bonsai-perquery`` backend.
+
+    Returns a backend exposing the same surface the class offered
+    (``search`` / ``stats`` / ``bonsai_stats`` / ``report``), with identical
+    behaviour.  Use ``get_backend("bonsai-perquery", tree)`` or
+    ``PointCloudIndex(cloud).backend("bonsai-perquery")``.
+    """
+    _warn("BonsaiRadiusSearch", 'get_backend("bonsai-perquery", tree)')
+    return get_backend("bonsai-perquery", tree, fmt=fmt,
+                       recorder=recorder, layout=layout)

@@ -1,6 +1,6 @@
 """Per-stage hardware reports: one trace, every model, one dictionary.
 
-The hardware-in-the-loop pipeline mode (``PipelineRunnerConfig(hardware=True)``)
+The hardware-in-the-loop pipeline mode (``ExecutionConfig(hardware=True)``)
 routes each search stage's memory accesses through a
 :class:`~repro.hwmodel.cache.HierarchyRecorder`.  This module turns the
 recorded :class:`~repro.hwmodel.cache.HierarchyStats` of one stage — plus the

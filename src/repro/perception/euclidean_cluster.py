@@ -6,10 +6,11 @@ radius-searching around unprocessed points, then keep clusters whose size
 falls within configured bounds.  Radius search dominates its execution time,
 which is exactly the property the paper exploits (Figure 2).
 
-The extractor takes a *searcher factory* so that the same clustering code runs
-on top of either the baseline 32-bit radius search or the K-D Bonsai
-compressed search, mirroring how the paper's PCL modification is toggled by a
-boolean flag.
+The extractor selects its search through the execution-backend registry
+(:mod:`repro.engine`), so the same clustering code runs on top of any named
+backend — per-query or batched, baseline 32-bit or K-D Bonsai compressed —
+mirroring how the paper's PCL modification is toggled by a boolean flag but
+keeping the mode as *data* (an :class:`~repro.engine.execution.ExecutionConfig`).
 """
 
 from __future__ import annotations
@@ -20,13 +21,13 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.bonsai_search import BonsaiRadiusSearch
+from ..engine.backends import SearchBackend
+from ..engine.execution import ExecutionConfig
 from ..kdtree.build import KDTree, KDTreeConfig, build_kdtree
 from ..kdtree.layout import TreeMemoryLayout
-from ..kdtree.radius_search import MemoryRecorder, RadiusSearcher, SearchStats
+from ..kdtree.radius_search import MemoryRecorder, SearchStats
 from ..pointcloud.cloud import BoundingBox, PointCloud
-from ..runtime.batch import BatchQueryEngine, BatchRadiusResult
-from ..runtime.bonsai import BonsaiBatchSearcher
+from ..runtime.batch import BatchRadiusResult
 
 __all__ = ["Cluster", "ClusterConfig", "ClusterResult", "EuclideanClusterExtractor"]
 
@@ -68,7 +69,9 @@ class ClusterResult:
     n_points: int
     search_stats: SearchStats
     tree: KDTree
-    bonsai: Optional[BonsaiRadiusSearch] = None
+    #: The Bonsai backend that served the searches (``None`` for baseline
+    #: runs); exposes ``bonsai_stats`` and the compression ``report``.
+    bonsai: Optional[SearchBackend] = None
 
     @property
     def n_clusters(self) -> int:
@@ -85,65 +88,65 @@ class ClusterResult:
 
 
 class EuclideanClusterExtractor:
-    """Cluster a point cloud by euclidean proximity over a k-d tree."""
+    """Cluster a point cloud by euclidean proximity over a k-d tree.
+
+    The search backend is selected by :class:`ExecutionConfig` (the
+    ``use_bonsai`` boolean remains as a convenience and maps to the batched
+    backend of the corresponding flavour).  All backends produce identical
+    clusters and search statistics.
+    """
 
     def __init__(self, config: Optional[ClusterConfig] = None, use_bonsai: bool = False,
-                 recorder: Optional[MemoryRecorder] = None):
+                 recorder: Optional[MemoryRecorder] = None,
+                 execution: Optional[ExecutionConfig] = None):
         self.config = config or ClusterConfig()
-        self.use_bonsai = use_bonsai
+        if execution is None:
+            execution = ExecutionConfig(
+                backend="bonsai-batched" if use_bonsai else "baseline-batched")
+        self.execution = execution
+        self.use_bonsai = execution.use_bonsai
+        if recorder is None and execution.hardware:
+            recorder = execution.make_recorder()
         self.recorder = recorder
 
     def extract(self, cloud: PointCloud) -> ClusterResult:
         """Build the tree, grow clusters and return the filtered result.
 
-        Without a memory recorder the cluster growth runs wave-by-wave on the
-        batched query engine (:mod:`repro.runtime`): every BFS frontier is
-        issued as one batched radius query.  With a recorder attached the
-        per-query path is kept, because the trace-driven cache simulation
-        depends on the exact order of the recorded memory accesses.  Both
-        paths produce identical clusters and search statistics.
+        Batched backends grow clusters wave-by-wave: every BFS frontier is
+        issued as one batched radius query.  Per-query backends — and any
+        backend when a memory recorder is attached, because the trace-driven
+        cache simulation depends on the exact order of the recorded memory
+        accesses — keep the query-by-query growth.  Both paths produce
+        identical clusters and search statistics.
         """
         if cloud.is_empty:
             return ClusterResult(clusters=[], n_points=0, search_stats=SearchStats(),
                                  tree=None)  # type: ignore[arg-type]
         tree = build_kdtree(cloud, KDTreeConfig(max_leaf_size=self.config.max_leaf_size))
-        layout = TreeMemoryLayout(n_points=tree.n_points)
+        execution = self.execution
 
-        if self.recorder is None:
-            return self._extract_batched(cloud, tree)
-
-        bonsai: Optional[BonsaiRadiusSearch] = None
-        if self.use_bonsai:
-            bonsai = BonsaiRadiusSearch(tree, recorder=self.recorder, layout=layout)
-            search: Callable[[Sequence[float], float], List[int]] = bonsai.search
-            stats = bonsai.stats
+        if self.recorder is not None:
+            # Recorded (hardware-in-the-loop) extraction: make_backend
+            # resolves to the per-query backend of the configured flavour
+            # with the recorder attached, so leaf/point loads — including
+            # the build-time compression traffic of a fresh Bonsai tree —
+            # stream into the cache model.
+            layout = TreeMemoryLayout(n_points=tree.n_points)
+            backend = execution.make_backend(tree, recorder=self.recorder,
+                                             layout=layout)
+            clusters = self._grow_clusters(cloud, backend.search, layout)
+        elif execution.strategy == "perquery":
+            backend = execution.make_backend(tree)
+            clusters = self._grow_clusters(cloud, backend.search)
         else:
-            searcher = RadiusSearcher(tree, recorder=self.recorder, layout=layout)
-            search = searcher.search
-            stats = searcher.stats
-
-        clusters = self._grow_clusters(cloud, search, layout)
+            backend = execution.make_backend(tree)
+            clusters = self._grow_clusters_batched(cloud, backend.radius_search)
         return ClusterResult(
             clusters=clusters,
             n_points=len(cloud),
-            search_stats=stats,
+            search_stats=backend.stats,
             tree=tree,
-            bonsai=bonsai,
-        )
-
-    def _extract_batched(self, cloud: PointCloud, tree: KDTree) -> ClusterResult:
-        """Cluster growth over the batched engine (no memory recorder)."""
-        if self.use_bonsai:
-            engine = BonsaiBatchSearcher(tree)
-        else:
-            engine = BatchQueryEngine(tree)
-        clusters = self._grow_clusters_batched(cloud, engine.radius_search)
-        return ClusterResult(
-            clusters=clusters,
-            n_points=len(cloud),
-            search_stats=engine.stats,
-            tree=tree,
-            bonsai=engine if self.use_bonsai else None,
+            bonsai=backend if self.use_bonsai else None,
         )
 
     # ------------------------------------------------------------------

@@ -27,14 +27,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.bonsai_search import BonsaiRadiusSearch, BonsaiStats
+from ..core.bonsai_search import BonsaiStats
 from ..core.compressed_leaf import compress_tree
+from ..engine.execution import ExecutionConfig
 from ..kdtree.build import KDTree, build_kdtree
 from ..kdtree.layout import TreeMemoryLayout
-from ..kdtree.radius_search import MemoryRecorder, RadiusSearcher, SearchStats
+from ..kdtree.radius_search import MemoryRecorder, SearchStats
 from ..pointcloud.cloud import PointCloud
-from ..runtime.batch import BatchQueryEngine, BatchRadiusResult, as_query_batch
-from ..runtime.bonsai import BonsaiBatchSearcher
 
 __all__ = ["VoxelGaussian", "NDTConfig", "NDTResult", "NDTMap", "NDTMatcher"]
 
@@ -133,66 +132,47 @@ class NDTMatcher:
     """Registers a scan against an :class:`NDTMap` by translation-only NDT.
 
     The per-iteration neighbour lookup — one radius search per transformed
-    scan point — is issued as one batched query through
-    :mod:`repro.runtime`, in both the baseline and the Bonsai configuration.
-    Results (and the accumulated :class:`SearchStats`) are identical to
-    issuing the searches one by one.
+    scan point — goes through the execution backend selected by
+    :class:`~repro.engine.execution.ExecutionConfig` (batched by default).
+    All backends return identical results and accumulate identical
+    :class:`SearchStats`.
 
-    With a memory ``recorder`` attached the per-query search path is used
-    instead, so every map-tree load streams through the trace-driven cache
-    simulation (:mod:`repro.hwmodel.cache`); results stay identical — the
-    per-query hits are re-sorted by point index, matching the batched
-    engine's order, so even the floating-point summation order of the NDT
-    score is preserved.
+    With a memory ``recorder`` attached the recorded per-query backend of
+    the configured flavour is used instead, so every map-tree load streams
+    through the trace-driven cache simulation (:mod:`repro.hwmodel.cache`);
+    results stay identical — the per-query hits are re-sorted by point
+    index, matching the batched engine's order, so even the floating-point
+    summation order of the NDT score is preserved.
     """
 
     def __init__(self, ndt_map: NDTMap, use_bonsai: bool = False,
-                 recorder: Optional[MemoryRecorder] = None):
+                 recorder: Optional[MemoryRecorder] = None,
+                 execution: Optional[ExecutionConfig] = None):
         self.map = ndt_map
         self.config = ndt_map.config
-        self.use_bonsai = use_bonsai
+        if execution is None:
+            execution = ExecutionConfig(
+                backend="bonsai-batched" if use_bonsai else "baseline-batched")
+        self.execution = execution
+        self.use_bonsai = execution.use_bonsai
+        if recorder is None and execution.hardware:
+            recorder = execution.make_recorder()
         self.recorder = recorder
         if recorder is not None:
             layout = TreeMemoryLayout(n_points=ndt_map.tree.n_points)
-            if use_bonsai:
+            if self.use_bonsai:
                 # Compress the map tree *before* attaching the recorder: map
                 # preparation is offline (unlike the per-frame clustering
                 # trees), so its compression traffic must neither enter the
                 # localization trace nor pre-warm the simulated caches.
                 if getattr(ndt_map.tree, "compressed_array", None) is None:
                     compress_tree(ndt_map.tree)
-                self._bonsai = BonsaiRadiusSearch(
-                    ndt_map.tree, recorder=recorder, layout=layout)
-                self._single_search = self._bonsai.search
-                self._stats = self._bonsai.stats
-            else:
-                self._searcher = RadiusSearcher(
-                    ndt_map.tree, recorder=recorder, layout=layout)
-                self._single_search = self._searcher.search
-                self._stats = self._searcher.stats
-            self._batch_search = self._loop_radius_search
-        elif use_bonsai:
-            self._bonsai = BonsaiBatchSearcher(ndt_map.tree)
-            self._batch_search = self._bonsai.radius_search
-            self._stats = self._bonsai.stats
+            self._backend = execution.make_backend(
+                ndt_map.tree, recorder=recorder, layout=layout)
         else:
-            self._engine = BatchQueryEngine(ndt_map.tree)
-            self._batch_search = self._engine.radius_search
-            self._stats = self._engine.stats
-
-    def _loop_radius_search(self, queries, radius: float) -> BatchRadiusResult:
-        """Per-query searches presented in the batched (CSR) result format."""
-        batch = as_query_batch(queries)
-        offsets = np.zeros(batch.shape[0] + 1, dtype=np.intp)
-        chunks: List[np.ndarray] = []
-        for index, query in enumerate(batch):
-            hits = np.sort(np.asarray(self._single_search(query, radius),
-                                      dtype=np.intp))
-            chunks.append(hits)
-            offsets[index + 1] = offsets[index] + hits.shape[0]
-        indices = (np.concatenate(chunks) if chunks
-                   else np.zeros(0, dtype=np.intp))
-        return BatchRadiusResult(offsets=offsets, point_indices=indices)
+            self._backend = execution.make_backend(ndt_map.tree)
+        self._batch_search = self._backend.radius_search
+        self._stats = self._backend.stats
 
     @property
     def search_stats(self) -> SearchStats:
@@ -202,7 +182,7 @@ class NDTMatcher:
     @property
     def bonsai_stats(self) -> Optional[BonsaiStats]:
         """Compressed-search counters (``None`` in the baseline configuration)."""
-        return self._bonsai.bonsai_stats if self.use_bonsai else None
+        return self._backend.bonsai_stats
 
     def register(self, scan: PointCloud,
                  initial_translation: Sequence[float] = (0.0, 0.0, 0.0)) -> NDTResult:

@@ -1,5 +1,6 @@
 """Autoware-like workload pipelines, profiling and sub-sampling."""
 
+from ..engine.execution import ExecutionConfig
 from .autoware import (
     EuclideanClusterPipeline,
     FrameMeasurement,
@@ -24,6 +25,7 @@ from .profiles import ExecutionShare, profile_euclidean_cluster, profile_ndt_mat
 from .subsampling import SubsamplingErrors, evaluate_subsampling, measure_sequence
 
 __all__ = [
+    "ExecutionConfig",
     "FrameRecord",
     "LocalizationReport",
     "PipelineRunner",

@@ -24,7 +24,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..core.bonsai_search import BonsaiStats
-from ..hwmodel.cache import HierarchyRecorder, HierarchyStats
+from ..engine.execution import ExecutionConfig
+from ..hwmodel.cache import HierarchyStats
 from ..hwmodel.cpu_config import CPUConfig, TABLE_IV_CPU
 from ..hwmodel.energy import EnergyModel, EnergyParameters
 from ..hwmodel.timing import KernelMetrics, TimingModel
@@ -164,17 +165,29 @@ class EuclideanClusterPipeline:
     # Public API
     # ------------------------------------------------------------------
     def run_frame(self, cloud: PointCloud, frame_index: int = 0,
-                  use_bonsai: bool = False) -> FrameMeasurement:
-        """Process one raw LiDAR frame and return its measurements."""
+                  use_bonsai: bool = False,
+                  execution: Optional[ExecutionConfig] = None) -> FrameMeasurement:
+        """Process one raw LiDAR frame and return its measurements.
+
+        ``execution`` selects the search backend and the hardware-recording
+        mode; when omitted it is derived from the legacy knobs (``use_bonsai``
+        plus the config's ``simulate_caches`` switch, which maps to
+        ``hardware=True``).
+        """
         config = self.config
+        if execution is None:
+            execution = ExecutionConfig(
+                backend="bonsai-batched" if use_bonsai else "baseline-batched",
+                hardware=config.simulate_caches)
+        use_bonsai = execution.use_bonsai
         filtered = preprocess_for_clustering(cloud, config.preprocess)
         if filtered.is_empty:
             raise ValueError("pre-processing removed every point; adjust PreprocessConfig")
 
-        recorder = (HierarchyRecorder.for_cpu(config.cpu)
-                    if config.simulate_caches else None)
+        recorder = (execution.make_recorder(config.cpu)
+                    if execution.hardware else None)
         extractor = EuclideanClusterExtractor(
-            config=config.cluster, use_bonsai=use_bonsai, recorder=recorder,
+            config=config.cluster, execution=execution, recorder=recorder,
         )
         result = extractor.extract(filtered)
         detections = label_clusters(filtered, result.clusters)
@@ -212,10 +225,13 @@ class EuclideanClusterPipeline:
         )
 
     def run_frames(self, clouds: Iterable[PointCloud],
-                   use_bonsai: bool = False) -> List[FrameMeasurement]:
+                   use_bonsai: bool = False,
+                   execution: Optional[ExecutionConfig] = None,
+                   ) -> List[FrameMeasurement]:
         """Process several frames; frame indices follow iteration order."""
         return [
-            self.run_frame(cloud, frame_index=i, use_bonsai=use_bonsai)
+            self.run_frame(cloud, frame_index=i, use_bonsai=use_bonsai,
+                           execution=execution)
             for i, cloud in enumerate(clouds)
         ]
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.bonsai_search import BonsaiStats
+from ..engine.execution import ExecutionConfig
 from ..hwmodel.cpu_config import CPUConfig, TABLE_IV_CPU
 from ..hwmodel.energy import EnergyModel, EnergyParameters
 from ..hwmodel.timing import KernelMetrics, TimingModel
@@ -86,9 +87,14 @@ class NDTLocalizationPipeline:
     """Registers a sequence of scans against a fixed map, with cost accounting."""
 
     def __init__(self, map_cloud: PointCloud, config: Optional[LocalizationConfig] = None,
-                 use_bonsai: bool = False, recorder=None):
+                 use_bonsai: bool = False, recorder=None,
+                 execution: Optional[ExecutionConfig] = None):
         self.config = config or LocalizationConfig()
-        self.use_bonsai = use_bonsai
+        if execution is None:
+            execution = ExecutionConfig(
+                backend="bonsai-batched" if use_bonsai else "baseline-batched")
+        self.execution = execution
+        self.use_bonsai = execution.use_bonsai
         self.timing = TimingModel(self.config.cpu)
         self.energy = EnergyModel(self.config.energy)
         map_filtered = voxel_grid_filter(
@@ -100,7 +106,7 @@ class NDTLocalizationPipeline:
         # and streams every map-tree access through the trace-driven cache
         # simulation (the map build itself is offline and not recorded).
         self.recorder = recorder
-        self.matcher = NDTMatcher(self.map, use_bonsai=use_bonsai, recorder=recorder)
+        self.matcher = NDTMatcher(self.map, execution=execution, recorder=recorder)
 
     # ------------------------------------------------------------------
     # Public API

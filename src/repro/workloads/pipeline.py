@@ -15,9 +15,15 @@ golden-metric regression harness (``tests/test_golden_pipeline.py``) locks
 down: a perf refactor that changes *any* stage's behaviour — cluster counts,
 search counters, localization error — trips the snapshot comparison.
 
-**Hardware-in-the-loop mode** (``PipelineRunnerConfig(hardware=True)``)
+The execution mode — which search backend serves the stages, and whether
+they run through the hardware models — is carried as data:
+``PipelineRunnerConfig(execution=ExecutionConfig(backend=<name>,
+hardware=...))``, with backend names resolved by the
+:mod:`repro.engine` registry.
+
+**Hardware-in-the-loop mode** (``ExecutionConfig(hardware=True)``)
 additionally routes the clustering and localization search stages through
-the per-query recorder path, so every tree access streams through the
+the recorded per-query backend, so every tree access streams through the
 trace-driven cache simulation of :mod:`repro.hwmodel`.  Functional outcomes
 are identical to the default batched path (the per-query and batched
 searches return the same results and the per-query hits are re-sorted into
@@ -31,7 +37,7 @@ Example
 -------
 >>> from repro.workloads import PipelineRunner
 >>> result = PipelineRunner.from_scenario(          # doctest: +SKIP
-...     "tunnel", n_frames=4, use_bonsai=True).run()
+...     "tunnel", n_frames=4, backend="bonsai-batched").run()
 >>> result.metrics()["clusters_total"]              # doctest: +SKIP
 42
 """
@@ -39,13 +45,15 @@ Example
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.bonsai_search import BonsaiStats
-from ..hwmodel.cache import HierarchyRecorder, HierarchyStats
+from ..engine.execution import ExecutionConfig
+from ..hwmodel.cache import HierarchyStats
 from ..hwmodel.energy import EnergyModel
 from ..hwmodel.report import StageHardwareReport
 from ..hwmodel.timing import TimingModel
@@ -69,8 +77,8 @@ __all__ = [
 
 def _default_pipeline_config() -> PipelineConfig:
     # By default the runner serves every frame through the batched engine;
-    # the trace-driven cache simulation (which forces the per-query path) is
-    # opted into end-to-end via ``PipelineRunnerConfig(hardware=True)``.
+    # the trace-driven cache simulation (which forces the recorded per-query
+    # backend) is opted into end-to-end via ``ExecutionConfig(hardware=True)``.
     return PipelineConfig(simulate_caches=False)
 
 
@@ -86,10 +94,26 @@ def _default_localization_config() -> LocalizationConfig:
 
 @dataclass
 class PipelineRunnerConfig:
-    """Configuration of the end-to-end runner."""
+    """Configuration of the end-to-end runner.
 
-    #: Use the K-D Bonsai compressed search in clustering and localization.
-    use_bonsai: bool = False
+    The execution mode — which search backend serves the clustering and
+    localization stages, and whether the searches run through the
+    trace-driven hardware models — is one value, ``execution``
+    (:class:`~repro.engine.execution.ExecutionConfig`).  The pre-engine
+    boolean pair (``use_bonsai`` / ``hardware``) still works but is
+    deprecated: passing either emits a ``DeprecationWarning`` and folds the
+    flags into ``execution``; after construction both attributes mirror the
+    resolved execution config, so existing readers keep seeing booleans.
+    An explicitly passed ``execution`` always wins over the booleans; when
+    they disagree the drop is announced with a ``DeprecationWarning``.  A
+    ``dataclasses.replace`` that swaps ``execution`` should therefore also
+    pass ``use_bonsai=None, hardware=None`` to clear the old mirrors.
+    """
+
+    #: The execution mode (backend name, hardware switch, cache geometry).
+    execution: Optional[ExecutionConfig] = None
+    #: Deprecated: use ``execution=ExecutionConfig(backend="bonsai-batched")``.
+    use_bonsai: Optional[bool] = None
     #: Process only the first ``n_frames`` frames (``None``: the whole sequence).
     n_frames: Optional[int] = None
     #: ``(n_samples, sample_length)`` systematic frame sub-sampling applied to
@@ -111,13 +135,40 @@ class PipelineRunnerConfig:
     max_localization_scans: int = 4
     #: Odometry-style perturbation added to the ground-truth initial guess.
     initial_translation_error: Tuple[float, float, float] = (0.3, 0.2, 0.0)
-    #: Hardware-in-the-loop mode: route the clustering and localization
-    #: search stages through the per-query recorder path so every tree access
-    #: streams through the trace-driven cache/timing/energy models
-    #: (:mod:`repro.hwmodel`).  Functional outcomes are identical to the
-    #: batched path; the result additionally carries per-stage
-    #: :class:`~repro.hwmodel.report.StageHardwareReport` objects.
-    hardware: bool = False
+    #: Deprecated: use ``execution=ExecutionConfig(hardware=True)``.
+    hardware: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        execution = self.execution
+        legacy_given = self.use_bonsai is not None or self.hardware is not None
+        if execution is None:
+            if legacy_given:
+                warnings.warn(
+                    "PipelineRunnerConfig(use_bonsai=..., hardware=...) is "
+                    "deprecated; pass execution=ExecutionConfig(backend=<name>, "
+                    "hardware=...) instead",
+                    DeprecationWarning, stacklevel=3)
+            flavor = "bonsai" if self.use_bonsai else "baseline"
+            execution = ExecutionConfig(backend=f"{flavor}-batched",
+                                        hardware=bool(self.hardware))
+        elif (self.use_bonsai not in (None, execution.use_bonsai)
+              or self.hardware not in (None, execution.hardware)):
+            # ``execution`` is authoritative; legacy booleans disagreeing
+            # with it are dropped — but never silently, because the old
+            # ``replace(config, use_bonsai=...)`` idiom lands here and a
+            # silent drop would run the wrong backend.  (A replace() that
+            # swaps ``execution`` must pass ``use_bonsai=None, hardware=None``
+            # to clear the old mirrors, as ``from_scenario`` does.)
+            warnings.warn(
+                f"ignoring use_bonsai={self.use_bonsai!r}/"
+                f"hardware={self.hardware!r}: execution={execution!r} was "
+                "given and wins; change the execution config instead "
+                "(e.g. execution.with_flavor(...)/with_hardware(...))",
+                DeprecationWarning, stacklevel=3)
+        self.execution = execution
+        # Mirror the resolved mode so legacy readers keep working.
+        self.use_bonsai = execution.use_bonsai
+        self.hardware = execution.hardware
 
 
 @dataclass
@@ -171,6 +222,10 @@ class PipelineRunResult:
     measurements: List[FrameMeasurement] = field(default_factory=list, repr=False)
     #: Per-stage trace-driven hardware reports (hardware-in-the-loop runs only).
     hardware_stages: Optional[Dict[str, StageHardwareReport]] = None
+    #: Name of the execution backend that served the run's searches.
+    #: Deliberately *not* part of :meth:`metrics` — the golden snapshots key
+    #: runs by backend through their filenames already.
+    backend: str = "baseline-batched"
 
     def metrics(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable metrics for golden snapshots.
@@ -264,20 +319,43 @@ class PipelineRunner:
                       n_frames: Optional[int] = None, seed: Optional[int] = None,
                       n_beams: Optional[int] = None,
                       n_azimuth_steps: Optional[int] = None,
-                      hardware: Optional[bool] = None) -> "PipelineRunner":
-        """Build a runner for a registered scenario (see :mod:`repro.scenarios`)."""
+                      hardware: Optional[bool] = None,
+                      backend: Optional[str] = None,
+                      execution: Optional[ExecutionConfig] = None) -> "PipelineRunner":
+        """Build a runner for a registered scenario (see :mod:`repro.scenarios`).
+
+        The execution mode resolves in precedence order: the explicit
+        ``execution`` argument, then ``backend`` / ``use_bonsai`` /
+        ``hardware`` tweaks, then the caller's ``config.execution``, then the
+        scenario's own execution default (``spec.execution``), then the
+        global default.  Scenario ``pipeline_overrides`` apply only when the
+        caller passes no explicit ``config`` (an explicit config is taken
+        verbatim).
+        """
         from ..scenarios import get_scenario
 
         spec = get_scenario(name)
         sequence = spec.sequence(n_frames=n_frames, seed=seed, n_beams=n_beams,
                                  n_azimuth_steps=n_azimuth_steps)
-        config = config or PipelineRunnerConfig()
-        if use_bonsai is not None and use_bonsai != config.use_bonsai:
+        if config is None:
+            overrides = dict(spec.pipeline_overrides or {})
+            if spec.execution is not None and "execution" not in overrides:
+                overrides["execution"] = spec.execution
+            config = PipelineRunnerConfig(**overrides)
+        resolved = execution if execution is not None else config.execution
+        if backend is not None:
+            resolved = replace(resolved, backend=backend)
+        if use_bonsai is not None and use_bonsai != resolved.use_bonsai:
+            resolved = resolved.with_flavor(use_bonsai)
+        if hardware is not None and hardware != resolved.hardware:
+            resolved = resolved.with_hardware(hardware)
+        if resolved is not config.execution:
             # Never mutate the caller's config: one config object must be
-            # reusable for a baseline-then-Bonsai comparison.
-            config = replace(config, use_bonsai=use_bonsai)
-        if hardware is not None and hardware != config.hardware:
-            config = replace(config, hardware=hardware)
+            # reusable for a baseline-then-Bonsai comparison.  Clear the
+            # mirrored legacy booleans alongside the swapped execution so
+            # __post_init__ re-derives them (see its mismatch handling).
+            config = replace(config, execution=resolved,
+                             use_bonsai=None, hardware=None)
         return cls(sequence, scenario=name, config=config)
 
     # ------------------------------------------------------------------
@@ -286,6 +364,7 @@ class PipelineRunner:
     def run(self) -> PipelineRunResult:
         """Run every stage and return the structured result."""
         config = self.config
+        execution = config.execution
         stage_seconds: Dict[str, float] = {}
 
         indices = self._select_frames()
@@ -294,15 +373,16 @@ class PipelineRunner:
         stage_seconds["generate"] = time.perf_counter() - start
 
         pipeline_config = config.pipeline
-        if config.hardware and not pipeline_config.simulate_caches:
-            # Hardware-in-the-loop: force the recorder path so the clustering
-            # searches stream through the trace-driven cache simulation.  The
-            # caller's config object is never mutated.
-            pipeline_config = replace(pipeline_config, simulate_caches=True)
+        frame_execution = execution
+        if pipeline_config.simulate_caches and not execution.hardware:
+            # A cache-simulating PipelineConfig keeps its per-frame recording
+            # even when the runner itself is not in hardware-in-the-loop mode
+            # (no per-stage hardware report is produced in that case).
+            frame_execution = execution.with_hardware(True)
         cluster_pipeline = EuclideanClusterPipeline(pipeline_config)
         tracker = ClusterTracker(config.tracker)
         cluster_search = SearchStats()
-        cluster_bonsai = BonsaiStats() if config.use_bonsai else None
+        cluster_bonsai = BonsaiStats() if execution.use_bonsai else None
         frames: List[FrameRecord] = []
         measurements: List[FrameMeasurement] = []
 
@@ -311,7 +391,7 @@ class PipelineRunner:
         for index, cloud in zip(indices, clouds):
             start = time.perf_counter()
             measurement = cluster_pipeline.run_frame(
-                cloud, frame_index=index, use_bonsai=config.use_bonsai)
+                cloud, frame_index=index, execution=frame_execution)
             cluster_s += time.perf_counter() - start
 
             kept = filter_by_extent(
@@ -344,11 +424,12 @@ class PipelineRunner:
         localization_recorder = None
         localization_pipeline = None
         if config.localization and len(indices) >= 2:
-            if config.hardware:
+            if execution.hardware:
                 # The localization workload carries its own machine config;
                 # its trace must be simulated on that geometry (it matches
-                # the clustering machine under the Table IV defaults).
-                localization_recorder = HierarchyRecorder.for_cpu(
+                # the clustering machine under the Table IV defaults), unless
+                # the execution config pins an explicit cache geometry.
+                localization_recorder = execution.make_recorder(
                     config.localization_config.cpu)
             start = time.perf_counter()
             localization, localization_pipeline = self._run_localization(
@@ -360,14 +441,14 @@ class PipelineRunner:
             track_labels[track.label] = track_labels.get(track.label, 0) + 1
 
         hardware_stages = None
-        if config.hardware:
+        if execution.hardware:
             hardware_stages = self._hardware_stages(
                 pipeline_config, measurements, cluster_bonsai,
                 localization, localization_recorder, localization_pipeline)
 
         return PipelineRunResult(
             scenario=self.scenario,
-            use_bonsai=config.use_bonsai,
+            use_bonsai=execution.use_bonsai,
             frame_indices=list(indices),
             frames=frames,
             cluster_search=cluster_search,
@@ -379,6 +460,7 @@ class PipelineRunner:
             stage_seconds=stage_seconds,
             measurements=measurements,
             hardware_stages=hardware_stages,
+            backend=execution.backend,
         )
 
     # ------------------------------------------------------------------
@@ -414,7 +496,7 @@ class PipelineRunner:
 
         pipeline = NDTLocalizationPipeline(
             clouds[0], config=config.localization_config,
-            use_bonsai=config.use_bonsai, recorder=recorder)
+            execution=config.execution, recorder=recorder)
         errors: List[float] = []
         iterations = 0
         instructions = 0

@@ -170,3 +170,38 @@ class TestRenderers:
         text = render_table5(estimate_bonsai_area(), TABLE_V)
         assert "Table V" in text
         assert "0.0511" in text
+
+
+class TestHardwareSweepResultModes:
+    """The sweep result carries its own mode labels (not hardwired)."""
+
+    @staticmethod
+    def _result(backends):
+        from repro.analysis.hw_sweep import (
+            HardwareScenarioRun, HardwareSweepResult, mode_label)
+
+        runs = [
+            HardwareScenarioRun(scenario="urban", mode=mode_label(backend),
+                                metrics={"backend": backend}, backend=backend)
+            for backend in backends
+        ]
+        return HardwareSweepResult(
+            runs=runs, n_frames=1, n_beams=8, n_azimuth_steps=64,
+            modes=tuple(mode_label(backend) for backend in backends))
+
+    def test_default_backends_keep_short_labels(self):
+        result = self._result(("baseline-batched", "bonsai-batched"))
+        baseline, bonsai = result.pair("urban")
+        assert (baseline.mode, bonsai.mode) == ("baseline", "bonsai")
+        assert set(result.as_dict()["scenarios"]["urban"]) == {
+            "baseline", "bonsai"}
+
+    def test_non_default_backends_pair_and_serialise(self):
+        """A sweep over per-query backends must not KeyError on the
+        hardwired default labels (regression: pair()/as_dict() used the
+        module-global SWEEP_MODES)."""
+        backends = ("baseline-perquery", "bonsai-perquery")
+        result = self._result(backends)
+        first, second = result.pair("urban")
+        assert (first.backend, second.backend) == backends
+        assert set(result.as_dict()["scenarios"]["urban"]) == set(backends)

@@ -1,0 +1,188 @@
+"""Randomized cross-backend parity: every named backend, one truth.
+
+The engine layer's core contract is that execution mode never changes
+results: the four registered backends must return *identical* radius hits
+and kNN neighbours for the same tree and queries, and wrapping any backend
+in the hardware recorder must leave the functional results bitwise
+unchanged while the cache trace fills.
+
+These tests fuzz that contract: seeded random clustered clouds plus
+scenario-derived frames, perturbed query sets, random radius/k — compared
+across every name in the registry (the suite never imports a concrete
+backend class, so a newly registered backend is automatically swept).
+The CI ``backend-parity`` step runs exactly this file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionConfig, PointCloudIndex, backend_names, get_backend, recorded
+from repro.kdtree import SearchStats, build_kdtree
+from repro.pointcloud import PointCloud, preprocess_for_clustering
+from repro.scenarios import build_sequence
+
+REFERENCE = "baseline-batched"
+
+
+def _fuzzed_cloud(seed: int) -> PointCloud:
+    """A random but spatially clustered cloud (no LiDAR structure)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-30.0, 30.0, size=(rng.integers(8, 24), 3))
+    centers[:, 2] = rng.uniform(-1.0, 2.0, size=centers.shape[0])
+    blobs = [center + rng.normal(0.0, rng.uniform(0.2, 0.8), size=(rng.integers(10, 60), 3))
+             for center in centers]
+    return PointCloud(np.vstack(blobs).astype(np.float32))
+
+
+def _fuzzed_case(seed: int):
+    """Deterministic (points, queries, radius, k) drawn from ``seed``."""
+    cloud = _fuzzed_cloud(seed)
+    rng = np.random.default_rng(seed * 6151 + 5)
+    base = cloud.points[rng.integers(0, len(cloud), 60)]
+    queries = base.astype(np.float64) + rng.normal(0.0, 0.5, base.shape)
+    radius = float(rng.uniform(0.3, 1.5))
+    k = int(rng.integers(1, 9))
+    return cloud, queries, radius, k
+
+
+def _scenario_case(scenario: str, seed: int):
+    """A case over a real preprocessed LiDAR frame of a registered world."""
+    sequence = build_sequence(scenario, n_frames=2, seed=seed,
+                              n_beams=14, n_azimuth_steps=120)
+    cloud = preprocess_for_clustering(sequence.frame(1))
+    rng = np.random.default_rng(seed * 7919 + 13)
+    base = cloud.points[rng.integers(0, len(cloud), 60)]
+    queries = base.astype(np.float64) + rng.normal(0.0, 0.4, base.shape)
+    return cloud, queries, float(rng.uniform(0.3, 1.2)), int(rng.integers(1, 8))
+
+
+CASES = {
+    "fuzz-seed2": lambda: _fuzzed_case(2),
+    "fuzz-seed17": lambda: _fuzzed_case(17),
+    "urban-frame": lambda: _scenario_case("urban", 3),
+    "warehouse-frame": lambda: _scenario_case("warehouse_indoor", 11),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CASES), ids=sorted(CASES))
+def case(request):
+    cloud, queries, radius, k = CASES[request.param]()
+    return build_kdtree(cloud), queries, radius, k
+
+
+def _radius_arrays(backend, queries, radius):
+    result = backend.radius_search(queries, radius)
+    return result.offsets, result.point_indices
+
+
+class TestCrossBackendParity:
+    """All registered backends agree bit-for-bit on every fuzzed case."""
+
+    def test_radius_hits_identical_across_backends(self, case):
+        tree, queries, radius, _ = case
+        ref_offsets, ref_indices = _radius_arrays(
+            get_backend(REFERENCE, tree), queries, radius)
+        for name in backend_names():
+            offsets, indices = _radius_arrays(
+                get_backend(name, tree), queries, radius)
+            assert np.array_equal(offsets, ref_offsets), name
+            assert np.array_equal(indices, ref_indices), name
+
+    def test_knn_neighbors_identical_across_backends(self, case):
+        tree, queries, _, k = case
+        reference = get_backend(REFERENCE, tree).knn(queries, k)
+        for name in backend_names():
+            result = get_backend(name, tree).knn(queries, k)
+            assert np.array_equal(result.indices, reference.indices), name
+            assert np.allclose(result.distances, reference.distances,
+                               rtol=0, atol=0, equal_nan=True), name
+
+    def test_radius_stats_aggregate_identically(self, case):
+        """Every backend charges the same functional search counters."""
+        tree, queries, radius, _ = case
+        reference = SearchStats()
+        get_backend(REFERENCE, tree,
+                    stats=reference).radius_search(queries, radius)
+        for name in backend_names():
+            stats = SearchStats()
+            get_backend(name, tree, stats=stats).radius_search(queries, radius)
+            assert (stats.queries, stats.leaves_visited, stats.interior_visited,
+                    stats.points_examined, stats.points_in_radius) == \
+                   (reference.queries, reference.leaves_visited,
+                    reference.interior_visited, reference.points_examined,
+                    reference.points_in_radius), name
+            assert stats.leaf_visit_counts == reference.leaf_visit_counts, name
+
+    def test_single_query_hits_match_batched(self, case):
+        """``search()`` returns the same set the batched result holds."""
+        tree, queries, radius, _ = case
+        for name in backend_names():
+            backend = get_backend(name, tree)
+            batched = backend.radius_search(queries[:10], radius)
+            for q in range(10):
+                assert sorted(backend.search(queries[q], radius)) == \
+                    batched.indices_for(q).tolist(), (name, q)
+
+
+class TestRecordedParity:
+    """The hardware wrapper must never change functional results."""
+
+    def test_recorded_radius_bitwise_unchanged(self, case):
+        tree, queries, radius, _ = case
+        for name in backend_names():
+            plain = get_backend(name, tree)
+            ref_offsets, ref_indices = _radius_arrays(plain, queries, radius)
+            wrapped = recorded(plain)
+            offsets, indices = _radius_arrays(wrapped, queries, radius)
+            assert np.array_equal(offsets, ref_offsets), name
+            assert np.array_equal(indices, ref_indices), name
+            # And the trace is live: the searches really hit the cache model.
+            assert wrapped.hierarchy is not None, name
+            assert wrapped.hierarchy.l1_accesses > 0, name
+
+    def test_execution_config_hardware_bitwise_unchanged(self, case):
+        """`ExecutionConfig(hardware=True)` is the same guarantee as data."""
+        tree, queries, radius, _ = case
+        for name in backend_names():
+            functional = ExecutionConfig(backend=name)
+            hardware = ExecutionConfig(backend=name, hardware=True)
+            ref = functional.make_backend(tree).radius_search(queries, radius)
+            recorded_backend = hardware.make_backend(tree)
+            got = recorded_backend.radius_search(queries, radius)
+            assert np.array_equal(got.offsets, ref.offsets), name
+            assert np.array_equal(got.point_indices, ref.point_indices), name
+            assert recorded_backend.hierarchy.l1_accesses > 0, name
+
+
+class TestIndexParity:
+    """The facade serves every backend from one tree with merged stats."""
+
+    def test_index_serves_all_backends_identically(self, case):
+        tree, queries, radius, k = case
+        index = PointCloudIndex(tree)
+        reference = index.radius_search(queries, radius, backend=REFERENCE)
+        knn_reference = index.knn(queries, k, backend=REFERENCE)
+        for name in backend_names():
+            result = index.radius_search(queries, radius, backend=name)
+            assert np.array_equal(result.point_indices,
+                                  reference.point_indices), name
+            knn = index.knn(queries, k, backend=name)
+            assert np.array_equal(knn.indices, knn_reference.indices), name
+        # Stats merged across every served backend: radius + knn queries each.
+        n_backends = len(backend_names())
+        assert index.search_stats.queries >= 2 * n_backends * len(queries)
+
+    def test_index_compresses_lazily_exactly_once(self, case):
+        tree, queries, radius, _ = case
+        index = PointCloudIndex(build_kdtree(tree.points))
+        assert not index.is_compressed
+        index.radius_search(queries, radius)  # baseline: no compression
+        assert not index.is_compressed and index.compression_report is None
+        index.radius_search(queries, radius, backend="bonsai-batched")
+        assert index.is_compressed
+        report = index.compression_report
+        assert report is not None and report.compressed_bytes > 0
+        index.radius_search(queries, radius, backend="bonsai-perquery")
+        assert index.compression_report is report  # not recompressed

@@ -57,6 +57,41 @@ class TestParser:
             for name in scenario_names():
                 assert name in text, (command, name)
 
+    def test_backend_flags_accept_registry_names(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--backend", "bonsai-perquery"])
+        assert args.backend == "bonsai-perquery"
+        args = build_parser().parse_args(
+            ["batch-sweep", "--backend", "baseline-perquery"])
+        assert args.backend == "baseline-perquery"
+
+    def test_backend_flags_reject_unknown_names(self):
+        for command in ("pipeline", "batch-sweep"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--backend", "warp-drive"])
+
+    def test_conflicting_backend_selections_rejected(self):
+        with pytest.raises(SystemExit, match="--bonsai conflicts"):
+            main(["pipeline", "--scenario", "urban", "--bonsai",
+                  "--backend", "baseline-batched"])
+        with pytest.raises(SystemExit, match="--engine bonsai conflicts"):
+            main(["batch-sweep", "--queries", "10", "--engine", "bonsai",
+                  "--backend", "baseline-perquery"])
+        # Consistent combinations still work.
+        args = build_parser().parse_args(
+            ["pipeline", "--bonsai", "--backend", "bonsai-perquery"])
+        assert args.backend == "bonsai-perquery"
+
+    def test_help_names_every_registered_backend(self):
+        """--help must list the backend registry's names, with no drift."""
+        from repro.engine import backend_names
+
+        subparsers = build_parser()._subparsers._group_actions[0].choices
+        for command in ("pipeline", "batch-sweep"):
+            text = subparsers[command].format_help()
+            for name in backend_names():
+                assert name in text, (command, name)
+
 
 class TestCommands:
     def test_generate_pcd(self, tmp_path, capsys):
@@ -138,6 +173,23 @@ class TestCommands:
         assert "Hardware (trace-driven cache" in out
         assert "clustering" in out and "localization" in out
         assert "DRAM->L2 B" in out
+
+    def test_pipeline_backend_by_name(self, capsys):
+        code = main(["pipeline", "--scenario", "urban", "--frames", "2",
+                     "--beams", "12", "--azimuth-steps", "90",
+                     "--backend", "bonsai-batched", "--no-localization"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "via bonsai-batched" in out
+        assert "bonsai:" in out
+
+    def test_batch_sweep_backend_by_name(self, capsys):
+        code = main(["batch-sweep", "--queries", "200",
+                     "--backend", "bonsai-batched", "--compare-loop"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bonsai-batched backend" in out
+        assert "bonsai-perquery backend" in out
 
     def test_pipeline_unknown_scenario(self):
         with pytest.raises(KeyError, match="unknown scenario"):

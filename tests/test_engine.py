@@ -1,0 +1,312 @@
+"""Tests of the engine layer: registry, ExecutionConfig, facade, shims.
+
+The parity of results across backends lives in ``test_backend_parity.py``;
+this file covers the API surface itself — name registration and errors,
+``ExecutionConfig`` resolution and validation, the ``PointCloudIndex``
+facade's bookkeeping, the per-scenario execution/pipeline overrides, and the
+backward-compat shims (deprecated entry points must warn *and* return
+identical results).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import (
+    ExecutionConfig,
+    PointCloudIndex,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.engine.registry import _REGISTRY as _BACKEND_REGISTRY
+from repro.kdtree import build_kdtree
+from repro.runtime import batch_knn, batch_radius_search
+from repro.scenarios import get_scenario
+from repro.scenarios.registry import _REGISTRY as _SCENARIO_REGISTRY
+from repro.scenarios.registry import register_scenario
+from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    rng = np.random.default_rng(5)
+    points = rng.uniform(-8.0, 8.0, (600, 3)).astype(np.float32)
+    queries = points[:40].astype(np.float64) + rng.normal(0.0, 0.3, (40, 3))
+    return build_kdtree(points), queries
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        names = backend_names()
+        assert names == sorted(names)
+        assert set(names) >= {"baseline-perquery", "baseline-batched",
+                              "bonsai-perquery", "bonsai-batched"}
+
+    def test_unknown_backend_lists_options(self, small_case):
+        tree, _ = small_case
+        with pytest.raises(KeyError, match="baseline-batched"):
+            get_backend("warp-drive", tree)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("baseline-batched", lambda tree, **_: None)
+
+    def test_malformed_names_rejected_at_registration(self):
+        """Names must be '<flavor>-<strategy>' — the layer splits on it."""
+        for bad in ("gpu", "Baseline-Batched", "baseline batched", "-batched"):
+            with pytest.raises(ValueError, match="flavor"):
+                register_backend(bad, lambda tree, **_: None)
+
+    def test_custom_backend_registers_and_resolves(self, small_case):
+        tree, queries = small_case
+        name = "test-batched"
+        register_backend(
+            name, lambda t, **opts: get_backend("baseline-batched", t, **opts))
+        try:
+            assert name in backend_names()
+            result = get_backend(name, tree).radius_search(queries, 0.5)
+            reference = get_backend("baseline-batched", tree).radius_search(
+                queries, 0.5)
+            assert np.array_equal(result.point_indices, reference.point_indices)
+        finally:
+            _BACKEND_REGISTRY.pop(name)
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.backend == "baseline-batched"
+        assert not config.hardware and not config.use_bonsai
+        assert config.flavor == "baseline" and config.strategy == "batched"
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecutionConfig(backend="baseline")
+
+    def test_with_flavor_and_hardware(self):
+        config = ExecutionConfig(backend="baseline-perquery")
+        bonsai = config.with_flavor(True)
+        assert bonsai.backend == "bonsai-perquery" and bonsai.use_bonsai
+        assert config.with_flavor(False) == config
+        assert config.with_hardware(True).hardware
+
+    def test_make_backend_honours_hardware(self, small_case):
+        tree, _ = small_case
+        functional = ExecutionConfig(backend="bonsai-batched").make_backend(tree)
+        assert functional.name == "bonsai-batched"
+        hardware = ExecutionConfig(backend="bonsai-batched",
+                                   hardware=True).make_backend(tree)
+        assert hardware.name == "bonsai-perquery"
+        assert hardware.recorder is not None
+
+    def test_cache_config_reaches_the_recorder(self, small_case):
+        from repro.hwmodel.cpu_config import TABLE_IV_CPU
+
+        tree, _ = small_case
+        tiny = replace(TABLE_IV_CPU, l1d=replace(TABLE_IV_CPU.l1d,
+                                                 size_bytes=4096))
+        config = ExecutionConfig(hardware=True, cache_config=tiny)
+        backend = config.make_backend(tree)
+        assert backend.recorder.hierarchy.l1.config.size_bytes == 4096
+        # Without an override the stage's own machine wins.
+        default = ExecutionConfig(hardware=True).make_recorder(TABLE_IV_CPU)
+        assert default.hierarchy.l1.config.size_bytes == TABLE_IV_CPU.l1d.size_bytes
+
+    def test_index_keys_recorded_backends_by_cpu(self, small_case):
+        """Two recorded requests with different geometries must not share."""
+        from repro.hwmodel.cpu_config import TABLE_IV_CPU
+
+        tree, _ = small_case
+        index = PointCloudIndex(tree)
+        tiny = replace(TABLE_IV_CPU, l1d=replace(TABLE_IV_CPU.l1d,
+                                                 size_bytes=1024))
+        default = index.backend("baseline-batched", recorded=True)
+        shrunk = index.backend("baseline-batched", recorded=True, cpu=tiny)
+        assert default is not shrunk
+        assert shrunk.recorder.hierarchy.l1.config.size_bytes == 1024
+        assert default.recorder.hierarchy.l1.config.size_bytes == \
+            TABLE_IV_CPU.l1d.size_bytes
+
+
+class TestPointCloudIndex:
+    def test_accepts_points_cloud_or_tree(self, small_case):
+        tree, queries = small_case
+        from_tree = PointCloudIndex(tree)
+        from_points = PointCloudIndex(tree.points)
+        assert from_tree.n_points == from_points.n_points == tree.n_points
+        a = from_tree.radius_search(queries, 0.5)
+        b = from_points.radius_search(queries, 0.5)
+        assert np.array_equal(a.point_indices, b.point_indices)
+
+    def test_backend_instances_are_cached(self, small_case):
+        tree, _ = small_case
+        index = PointCloudIndex(tree)
+        assert index.backend("baseline-batched") is index.backend("baseline-batched")
+        assert index.backend("baseline-batched") is not index.backend(
+            "baseline-batched", recorded=True)
+
+    def test_recorded_backend_merges_hierarchy_stats(self, small_case):
+        tree, queries = small_case
+        index = PointCloudIndex(tree)
+        assert index.hierarchy_stats is None
+        index.radius_search(queries, 0.5, recorded=True)
+        merged = index.hierarchy_stats
+        assert merged is not None and merged.l1_accesses > 0
+
+    def test_bonsai_stats_merge_across_bonsai_backends(self, small_case):
+        tree, queries = small_case
+        index = PointCloudIndex(tree)
+        assert index.bonsai_stats is None
+        index.radius_search(queries, 0.5, backend="bonsai-batched")
+        index.radius_search(queries, 0.5, backend="bonsai-perquery")
+        merged = index.bonsai_stats
+        assert merged is not None
+        batched = index.backend("bonsai-batched").bonsai_stats
+        perquery = index.backend("bonsai-perquery").bonsai_stats
+        assert merged.leaf_visits == batched.leaf_visits + perquery.leaf_visits
+
+
+class TestScenarioExecutionOverrides:
+    """Worlds can pin their own backend and pipeline defaults."""
+
+    @pytest.fixture()
+    def pinned_scenario(self):
+        name = "engine_test_world"
+        urban = get_scenario("urban")
+        register_scenario(
+            name, "urban clone pinning bonsai + no localization",
+            defaults=urban.defaults,
+            execution=ExecutionConfig(backend="bonsai-batched"),
+            pipeline_overrides={"localization": False,
+                                "max_detection_extent": 9.0},
+        )(urban.scene_factory)
+        yield name
+        _SCENARIO_REGISTRY.pop(name)
+
+    def test_spec_defaults_flow_into_the_runner(self, pinned_scenario):
+        runner = PipelineRunner.from_scenario(pinned_scenario, n_frames=2,
+                                              n_beams=10, n_azimuth_steps=80)
+        assert runner.config.execution.backend == "bonsai-batched"
+        assert runner.config.localization is False
+        assert runner.config.max_detection_extent == 9.0
+
+    def test_explicit_config_wins_over_spec(self, pinned_scenario):
+        config = PipelineRunnerConfig()
+        runner = PipelineRunner.from_scenario(
+            pinned_scenario, config=config, n_frames=2,
+            n_beams=10, n_azimuth_steps=80)
+        assert runner.config.execution.backend == "baseline-batched"
+        assert runner.config.localization is True
+
+    def test_explicit_backend_overrides_spec_execution(self, pinned_scenario):
+        runner = PipelineRunner.from_scenario(
+            pinned_scenario, backend="baseline-perquery", n_frames=2,
+            n_beams=10, n_azimuth_steps=80)
+        assert runner.config.execution.backend == "baseline-perquery"
+        # The other spec overrides still apply.
+        assert runner.config.localization is False
+
+
+PRESET = dict(n_frames=2, seed=7, n_beams=10, n_azimuth_steps=80)
+
+
+class TestDeprecatedEntryPoints:
+    """The pre-engine spellings keep working, warn, and match exactly."""
+
+    def test_runner_config_legacy_flags_warn_and_resolve(self):
+        with pytest.warns(DeprecationWarning, match="PipelineRunnerConfig"):
+            config = PipelineRunnerConfig(use_bonsai=True, hardware=True)
+        assert config.execution == ExecutionConfig(backend="bonsai-batched",
+                                                   hardware=True)
+        # Mirrored booleans keep legacy readers working.
+        assert config.use_bonsai is True and config.hardware is True
+
+    def test_runner_config_replace_roundtrip_does_not_rewarn(self):
+        config = PipelineRunnerConfig(
+            execution=ExecutionConfig(backend="bonsai-batched"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            copy = replace(config, n_frames=3)
+        assert copy.execution == config.execution and copy.n_frames == 3
+
+    def test_runner_config_replace_can_swap_execution(self):
+        """replace() swapping execution wins over stale mirrors (clearing
+        them alongside is the silent spelling; bare swaps warn)."""
+        config = PipelineRunnerConfig()
+        new_execution = ExecutionConfig(backend="bonsai-batched", hardware=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            swapped = replace(config, execution=new_execution,
+                              use_bonsai=None, hardware=None)
+        assert swapped.execution.backend == "bonsai-batched"
+        assert swapped.use_bonsai is True and swapped.hardware is True
+        # A bare swap still resolves to the new execution, but announces the
+        # dropped stale mirrors.
+        with pytest.warns(DeprecationWarning, match="execution=.*wins"):
+            bare = replace(config, execution=new_execution)
+        assert bare.execution == new_execution and bare.use_bonsai is True
+        # The original is untouched.
+        assert config.use_bonsai is False and config.hardware is False
+
+    def test_explicit_execution_wins_over_legacy_booleans_with_warning(self):
+        """The old replace(config, use_bonsai=...) idiom must not be silent."""
+        with pytest.warns(DeprecationWarning, match="ignoring use_bonsai"):
+            config = PipelineRunnerConfig(
+                execution=ExecutionConfig(backend="baseline-batched"),
+                use_bonsai=True)
+        assert config.execution.backend == "baseline-batched"
+        assert config.use_bonsai is False  # re-mirrored from execution
+
+    def test_legacy_flags_produce_identical_pipeline_metrics(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = PipelineRunner.from_scenario(
+                "urban", config=PipelineRunnerConfig(use_bonsai=True), **PRESET)
+        modern = PipelineRunner.from_scenario(
+            "urban", config=PipelineRunnerConfig(
+                execution=ExecutionConfig(backend="bonsai-batched")), **PRESET)
+        assert legacy.run().metrics() == modern.run().metrics()
+
+    def test_top_level_batch_radius_search_warns_and_matches(self, small_case):
+        tree, queries = small_case
+        reference = get_backend("baseline-batched", tree).radius_search(queries, 0.5)
+        with pytest.warns(DeprecationWarning, match="batch_radius_search"):
+            result = repro.batch_radius_search(tree, queries, 0.5)
+        assert np.array_equal(result.offsets, reference.offsets)
+        assert np.array_equal(result.point_indices, reference.point_indices)
+        # The runtime module's own function is NOT deprecated.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runtime_result = batch_radius_search(tree, queries, 0.5)
+        assert np.array_equal(runtime_result.point_indices, reference.point_indices)
+
+    def test_top_level_batch_knn_warns_and_matches(self, small_case):
+        tree, queries = small_case
+        reference = get_backend("baseline-batched", tree).knn(queries, 4)
+        with pytest.warns(DeprecationWarning, match="batch_knn"):
+            result = repro.batch_knn(tree, queries, 4)
+        assert np.array_equal(result.indices, reference.indices)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runtime_result = batch_knn(tree, queries, 4)
+        assert np.array_equal(runtime_result.indices, reference.indices)
+
+    def test_top_level_bonsai_radius_search_warns_and_matches(self, small_case):
+        tree, queries = small_case
+        from repro.core.bonsai_search import BonsaiRadiusSearch as CoreClass
+
+        core = CoreClass(build_kdtree(tree.points))
+        expected = [sorted(core.search(q, 0.5)) for q in queries[:10]]
+        with pytest.warns(DeprecationWarning, match="BonsaiRadiusSearch"):
+            shim = repro.BonsaiRadiusSearch(build_kdtree(tree.points))
+        got = [sorted(shim.search(q, 0.5)) for q in queries[:10]]
+        assert got == expected
+        # The shim exposes the class surface consumers relied on.
+        assert shim.stats.queries == 10
+        assert shim.bonsai_stats.leaf_visits > 0
+        assert shim.report is not None and shim.report.compressed_bytes > 0

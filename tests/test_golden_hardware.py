@@ -25,33 +25,34 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.hw_sweep import SWEEP_MODES
+from repro.analysis.hw_sweep import SWEEP_BACKENDS
+from repro.engine import ExecutionConfig
 from repro.scenarios import scenario_names
 from repro.workloads import PipelineRunner, PipelineRunnerConfig
 
+from goldens import GOLDEN_DIR, golden_path, mode_stem
 from test_golden_pipeline import PRESET, _assert_matches
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
-
 SCENARIOS = scenario_names()
-MODES = SWEEP_MODES
+BACKENDS = SWEEP_BACKENDS
 
 
 @lru_cache(maxsize=None)
-def _full_metrics(scenario: str, mode: str) -> dict:
+def _full_metrics(scenario: str, backend: str) -> dict:
     runner = PipelineRunner.from_scenario(
         scenario,
-        config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai"), hardware=True),
+        config=PipelineRunnerConfig(
+            execution=ExecutionConfig(backend=backend, hardware=True)),
         **PRESET,
     )
     return json.loads(json.dumps(runner.run().metrics()))
 
 
-def _run_metrics(scenario: str, mode: str) -> dict:
+def _run_metrics(scenario: str, backend: str) -> dict:
     # The snapshot scope of this harness is the hardware section; the
     # functional metrics are already locked down (at identical values — see
     # test_hardware_mode_matches_functional_golden) by the pipeline goldens.
-    metrics = _full_metrics(scenario, mode)
+    metrics = _full_metrics(scenario, backend)
     return {
         "scenario": metrics["scenario"],
         "use_bonsai": metrics["use_bonsai"],
@@ -59,15 +60,15 @@ def _run_metrics(scenario: str, mode: str) -> dict:
     }
 
 
-def _golden_path(scenario: str, mode: str) -> Path:
-    return GOLDEN_DIR / f"hw_pipeline_{scenario}_{mode}.json"
+def _golden_path(scenario: str, backend: str) -> Path:
+    return golden_path("hardware", scenario, backend)
 
 
-@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", BACKENDS, ids=mode_stem)
 @pytest.mark.parametrize("scenario", SCENARIOS)
-def test_hardware_matches_golden(scenario, mode, request):
-    metrics = _run_metrics(scenario, mode)
-    path = _golden_path(scenario, mode)
+def test_hardware_matches_golden(scenario, backend, request):
+    metrics = _run_metrics(scenario, backend)
+    path = _golden_path(scenario, backend)
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
@@ -80,9 +81,9 @@ def test_hardware_matches_golden(scenario, mode, request):
     _assert_matches(metrics, golden)
 
 
-@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", BACKENDS, ids=mode_stem)
 @pytest.mark.parametrize("scenario", SCENARIOS)
-def test_hardware_mode_matches_functional_golden(scenario, mode):
+def test_hardware_mode_matches_functional_golden(scenario, backend):
     """Hardware mode must not change any functional pipeline outcome.
 
     The per-query recorder path and the batched default path are required to
@@ -93,13 +94,13 @@ def test_hardware_mode_matches_functional_golden(scenario, mode):
     deliberately use the recorded cache statistics in hardware mode instead
     of the analytic streaming fractions.
     """
-    golden_path = GOLDEN_DIR / f"pipeline_{scenario}_{mode}.json"
-    if not golden_path.exists():  # pragma: no cover - pipeline goldens exist
+    functional_path = golden_path("pipeline", scenario, backend)
+    if not functional_path.exists():  # pragma: no cover - pipeline goldens exist
         pytest.skip("functional golden snapshots not generated yet")
-    metrics = dict(_full_metrics(scenario, mode))
+    metrics = dict(_full_metrics(scenario, backend))
     metrics.pop("hardware")
     metrics.pop("model")
-    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    golden = json.loads(functional_path.read_text(encoding="utf-8"))
     golden.pop("model")
     _assert_matches(metrics, golden)
 
@@ -107,8 +108,8 @@ def test_hardware_mode_matches_functional_golden(scenario, mode):
 @pytest.mark.parametrize("scenario", SCENARIOS)
 def test_bonsai_moves_fewer_bytes_everywhere(scenario):
     """The paper's central claim, checked per scenario and per stage."""
-    baseline = _run_metrics(scenario, "baseline")["hardware"]
-    bonsai = _run_metrics(scenario, "bonsai")["hardware"]
+    baseline = _run_metrics(scenario, "baseline-batched")["hardware"]
+    bonsai = _run_metrics(scenario, "bonsai-batched")["hardware"]
     assert set(baseline) == {"clustering", "localization"}
     for stage in baseline:
         assert bonsai[stage]["bytes_loaded"] < baseline[stage]["bytes_loaded"], stage
@@ -116,8 +117,8 @@ def test_bonsai_moves_fewer_bytes_everywhere(scenario):
 
 
 def test_golden_dir_has_no_stale_hardware_snapshots():
-    """Every hardware snapshot corresponds to a registered scenario/mode."""
-    expected = {_golden_path(s, m).name for s in SCENARIOS for m in MODES}
+    """Every hardware snapshot corresponds to a registered scenario/backend."""
+    expected = {_golden_path(s, b).name for s in SCENARIOS for b in BACKENDS}
     actual = {p.name for p in GOLDEN_DIR.glob("hw_pipeline_*.json")}
     assert actual == expected, (
         f"stale={sorted(actual - expected)}, missing={sorted(expected - actual)}")

@@ -25,10 +25,11 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine import ExecutionConfig
 from repro.scenarios import scenario_names
 from repro.workloads import PipelineRunner, PipelineRunnerConfig
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
+from goldens import GOLDEN_BACKENDS, GOLDEN_DIR, golden_path, mode_stem
 
 #: Sensor/sequence preset of the golden runs: small enough for tier-1, dense
 #: enough that every scenario produces clusters, tracks and a localization fix.
@@ -43,14 +44,16 @@ FLOAT_TOLERANCES = {
 DEFAULT_REL = 1e-4
 
 SCENARIOS = scenario_names()
-MODES = ("baseline", "bonsai")
+#: Execution backends the harness sweeps; snapshot filenames keep the short
+#: flavour stems (see ``goldens.mode_stem``).
+BACKENDS = GOLDEN_BACKENDS
 
 
 @lru_cache(maxsize=None)
-def _run_metrics(scenario: str, mode: str) -> dict:
+def _run_metrics(scenario: str, backend: str) -> dict:
     runner = PipelineRunner.from_scenario(
         scenario,
-        config=PipelineRunnerConfig(use_bonsai=(mode == "bonsai")),
+        config=PipelineRunnerConfig(execution=ExecutionConfig(backend=backend)),
         **PRESET,
     )
     # Round-trip through JSON so cached values have exactly the types a
@@ -58,8 +61,8 @@ def _run_metrics(scenario: str, mode: str) -> dict:
     return json.loads(json.dumps(runner.run().metrics()))
 
 
-def _golden_path(scenario: str, mode: str) -> Path:
-    return GOLDEN_DIR / f"pipeline_{scenario}_{mode}.json"
+def _golden_path(scenario: str, backend: str) -> Path:
+    return golden_path("pipeline", scenario, backend)
 
 
 def _assert_matches(actual, golden, path: str = "metrics") -> None:
@@ -88,11 +91,11 @@ def _assert_matches(actual, golden, path: str = "metrics") -> None:
         assert actual == golden, f"{path}: {actual} != {golden}"
 
 
-@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", BACKENDS, ids=mode_stem)
 @pytest.mark.parametrize("scenario", SCENARIOS)
-def test_pipeline_matches_golden(scenario, mode, request):
-    metrics = _run_metrics(scenario, mode)
-    path = _golden_path(scenario, mode)
+def test_pipeline_matches_golden(scenario, backend, request):
+    metrics = _run_metrics(scenario, backend)
+    path = _golden_path(scenario, backend)
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n",
@@ -108,8 +111,8 @@ def test_pipeline_matches_golden(scenario, mode, request):
 @pytest.mark.parametrize("scenario", SCENARIOS)
 def test_bonsai_matches_baseline_functionally(scenario):
     """The compressed search must not change any pipeline outcome."""
-    baseline = _run_metrics(scenario, "baseline")
-    bonsai = _run_metrics(scenario, "bonsai")
+    baseline = _run_metrics(scenario, "baseline-batched")
+    bonsai = _run_metrics(scenario, "bonsai-batched")
     for key in ("n_frames", "frame_indices", "raw_points_total",
                 "filtered_points_total", "clusters_total",
                 "detections_kept_total", "confirmed_tracks_final",
@@ -129,7 +132,7 @@ def test_bonsai_matches_baseline_functionally(scenario):
 @pytest.mark.parametrize("scenario", SCENARIOS)
 def test_every_scenario_is_a_real_workload(scenario):
     """Each world must actually exercise the stages it claims to cover."""
-    metrics = _run_metrics(scenario, "baseline")
+    metrics = _run_metrics(scenario, "baseline-batched")
     assert metrics["filtered_points_total"] > 50, "scenario degenerated to noise"
     assert metrics["clusters_total"] > 0, "no clusters — nothing to perceive"
     assert metrics["detections_kept_total"] > 0
@@ -142,8 +145,8 @@ def test_every_scenario_is_a_real_workload(scenario):
 
 
 def test_golden_dir_has_no_stale_snapshots():
-    """Every snapshot on disk corresponds to a registered scenario/mode."""
-    expected = {_golden_path(s, m).name for s in SCENARIOS for m in MODES}
+    """Every snapshot on disk corresponds to a registered scenario/backend."""
+    expected = {_golden_path(s, b).name for s in SCENARIOS for b in BACKENDS}
     actual = {p.name for p in GOLDEN_DIR.glob("pipeline_*.json")}
     assert actual == expected, (
         f"stale={sorted(actual - expected)}, missing={sorted(expected - actual)}")

@@ -20,7 +20,7 @@ from repro.hwmodel import (
 )
 from repro.perception.ndt import NDTConfig, NDTMap, NDTMatcher
 from repro.pointcloud.filters import voxel_grid_filter
-from repro.workloads import PipelineRunner, PipelineRunnerConfig
+from repro.workloads import ExecutionConfig, PipelineRunner, PipelineRunnerConfig
 
 PRESET = dict(n_frames=3, seed=7, n_beams=14, n_azimuth_steps=120)
 
@@ -136,7 +136,8 @@ class TestHardwareRunnerFlag:
         assert all(m.hierarchy is not None for m in result.measurements)
 
     def test_no_localization_no_stage(self):
-        config = PipelineRunnerConfig(hardware=True, localization=False)
+        config = PipelineRunnerConfig(execution=ExecutionConfig(hardware=True),
+                                      localization=False)
         result = PipelineRunner.from_scenario("urban", config=config, **PRESET).run()
         assert set(result.hardware_stages) == {"clustering"}
 
@@ -152,7 +153,8 @@ class TestHardwareRunnerFlag:
         custom = LocalizationConfig(
             ndt=_default_localization_config().ndt,
             cpu=CPUConfig(l2=wide_l2))
-        config = PipelineRunnerConfig(hardware=True, localization_config=custom)
+        config = PipelineRunnerConfig(execution=ExecutionConfig(hardware=True),
+                                      localization_config=custom)
         result = PipelineRunner.from_scenario("urban", config=config, **PRESET).run()
         loc = result.hardware_stages["localization"]
         assert loc.dram_to_l2_bytes == loc.memory_accesses * 128
