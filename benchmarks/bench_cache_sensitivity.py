@@ -1,0 +1,81 @@
+"""Cache-geometry sensitivity: map where the Bonsai byte win stops paying.
+
+Extension benchmark (no single paper figure): the paper evaluates one
+machine (Table IV).  This benchmark re-runs the hardware-in-the-loop matrix
+over the named L1-size variants of that machine
+(:mod:`repro.analysis.cache_sweep`) on a representative scenario subset and
+regenerates ``benchmarks/results/cache_sensitivity.txt`` — one row per
+geometry with both modes' line-fill traffic and energy totals.
+
+How to read it (details in ``docs/PERFORMANCE.md``): demand bytes are
+geometry-independent (Bonsai always *requests* ~45% fewer bytes), but the
+L2->L1 line-fill reduction shrinks as L1 grows — a large enough L1 absorbs
+the baseline's extra traffic too, and the energy win compresses toward the
+pure demand-byte delta.  The sweep runs all (geometry, scenario, backend)
+cells across one process pool.
+
+Scale knobs: ``REPRO_BENCH_CACHE_FRAMES`` (default 2),
+``REPRO_BENCH_CACHE_BEAMS`` / ``REPRO_BENCH_CACHE_AZIMUTH`` (default
+18 x 180), ``REPRO_BENCH_CACHE_JOBS`` (default: auto worker count).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import CacheGeometrySweep, render_cache_sensitivity
+from repro.analysis.cache_sweep import DEFAULT_GEOMETRY_NAMES
+from repro.engine.parallel import resolve_workers
+
+from paper_reference import write_result
+
+N_FRAMES = int(os.environ.get("REPRO_BENCH_CACHE_FRAMES", "2"))
+N_BEAMS = int(os.environ.get("REPRO_BENCH_CACHE_BEAMS", "18"))
+N_AZIMUTH = int(os.environ.get("REPRO_BENCH_CACHE_AZIMUTH", "180"))
+N_JOBS = int(os.environ.get("REPRO_BENCH_CACHE_JOBS", "0")) or resolve_workers()
+
+#: Representative scenario subset: the reference world, the densest and the
+#: sparsest distribution — the sensitivity trend must hold on all three.
+SCENARIOS = ("urban", "warehouse_indoor", "sparse_rural")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """The L1-size cut x scenario subset x {baseline, Bonsai}."""
+    return CacheGeometrySweep(
+        DEFAULT_GEOMETRY_NAMES, list(SCENARIOS), n_frames=N_FRAMES,
+        n_beams=N_BEAMS, n_azimuth_steps=N_AZIMUTH, n_jobs=N_JOBS).run()
+
+
+def test_cache_sensitivity_report(benchmark, sweep):
+    """Regenerate the sensitivity table and check its structural claims."""
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    write_result("cache_sensitivity", render_cache_sensitivity(result))
+
+    rows = result.comparison_rows()
+    by_name = {row["geometry"].name: row for row in rows}
+
+    # Demand bytes are geometry-independent: every row requests the same.
+    demands = {(row["base"]["bytes_loaded"], row["other"]["bytes_loaded"])
+               for row in rows}
+    assert len(demands) == 1
+    base_demand, bonsai_demand = demands.pop()
+    assert bonsai_demand < 0.8 * base_demand
+
+    for row in rows:
+        # The compressed search never moves more L2->L1 fill traffic, and
+        # the energy estimate follows, on every geometry.
+        assert row["other"]["l2_to_l1_bytes"] < row["base"]["l2_to_l1_bytes"]
+        assert row["other"]["energy_j"] < row["base"]["energy_j"]
+
+    # The sensitivity trend along the L1-size cut: the baseline's fill
+    # traffic falls monotonically as L1 grows, so the *absolute* L2->L1
+    # savings of Bonsai shrink — the byte win pays off less and less.
+    cut = ["l1-8k", "l1-16k", "table-iv", "l1-64k", "l1-128k"]
+    base_fills = [by_name[name]["base"]["l2_to_l1_bytes"] for name in cut]
+    assert base_fills == sorted(base_fills, reverse=True)
+    savings = [by_name[name]["base"]["l2_to_l1_bytes"]
+               - by_name[name]["other"]["l2_to_l1_bytes"] for name in cut]
+    assert savings[0] > savings[-1]

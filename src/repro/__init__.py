@@ -73,7 +73,11 @@ instead of spelling out the subpackage:
     search backend and the hardware-in-the-loop mode.
 ``HardwareScenarioSweep``
     Every scenario x {baseline, Bonsai} through the hardware-in-the-loop
-    pipeline (:mod:`repro.analysis.hw_sweep`).
+    pipeline (:mod:`repro.analysis.hw_sweep`), optionally across a process
+    pool (``n_jobs``) with a deterministic merge.
+``CacheGeometrySweep``
+    The hardware matrix over named L1/L2 geometry variants
+    (:mod:`repro.analysis.cache_sweep`) — the cache-sensitivity driver.
 ``scenario_names()`` / ``get_scenario`` / ``build_scene`` / ``build_sequence``
     The scenario library registry (:mod:`repro.scenarios`).
 
@@ -110,6 +114,7 @@ _EXPORTS = {
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
     "HardwareScenarioSweep": "repro.analysis",
+    "CacheGeometrySweep": "repro.analysis",
     "build_sequence": "repro.scenarios",
     "build_scene": "repro.scenarios",
     "scenario_names": "repro.scenarios",

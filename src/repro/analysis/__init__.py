@@ -1,6 +1,13 @@
 """Metrics, comparisons and report rendering for the paper's evaluation."""
 
 from .boxplot import BoxPlotStats, compare_distributions
+from .cache_sweep import (
+    CacheGeometry,
+    CacheGeometrySweep,
+    CacheSweepResult,
+    GEOMETRIES,
+    geometry_names,
+)
 from .compare import ComparisonSummary, MetricComparison, compare_measurements
 from .hw_sweep import HardwareScenarioRun, HardwareScenarioSweep, HardwareSweepResult
 from .metrics import (
@@ -11,6 +18,7 @@ from .metrics import (
 )
 from .reporting import (
     render_boxplot_figure,
+    render_cache_sensitivity,
     render_fig2,
     render_fig9a,
     render_fig9b,
@@ -24,6 +32,11 @@ from .reporting import (
 __all__ = [
     "BoxPlotStats",
     "compare_distributions",
+    "CacheGeometry",
+    "CacheGeometrySweep",
+    "CacheSweepResult",
+    "GEOMETRIES",
+    "geometry_names",
     "ComparisonSummary",
     "MetricComparison",
     "compare_measurements",
@@ -35,6 +48,7 @@ __all__ = [
     "classification_error",
     "table1_classification_errors",
     "render_boxplot_figure",
+    "render_cache_sensitivity",
     "render_fig2",
     "render_fig9a",
     "render_fig9b",

@@ -14,6 +14,14 @@ cache-behaviour claims generalize beyond the urban world: dense indoor
 aisles, sparse rural fields, degraded sensors.  ``bench_scenario_hw_matrix``
 renders it as a table; ``tests/test_golden_hardware.py`` locks the underlying
 per-scenario metrics down as golden snapshots.
+
+The sweep runs its (scenario, backend) cells across a **process pool** when
+``n_jobs > 1`` (each cell is an independent, seeded, deterministic pipeline
+run) and collects the results **by task index**, so the parallel sweep
+returns exactly the result the serial loop returns — same runs, same order,
+same metrics — whatever order the workers complete in
+(``tests/test_parallel_sweep.py`` locks this down).  That is what makes the
+8-world matrix and full-resolution sensors affordable.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["HardwareScenarioRun", "HardwareSweepResult", "HardwareScenarioSweep",
+           "SweepTask", "run_sweep_task",
            "SWEEP_BACKENDS", "SWEEP_MODES", "mode_label"]
 
 #: The execution backends every scenario runs under (registry names).
@@ -111,6 +120,52 @@ class HardwareSweepResult:
         }
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent (scenario, backend) cell of a hardware sweep.
+
+    The task is a picklable, self-contained description of one
+    hardware-in-the-loop pipeline run — everything a worker process needs.
+    ``cache_config`` is the optional :class:`~repro.hwmodel.cpu_config.CPUConfig`
+    the recorded machine simulates (``None`` = each stage's default, the
+    paper's Table IV geometry).
+    """
+
+    scenario: str
+    backend: str
+    n_frames: int
+    seed: Optional[int]
+    n_beams: int
+    n_azimuth_steps: int
+    cache_config: object = None
+
+
+def run_sweep_task(task: SweepTask) -> HardwareScenarioRun:
+    """Execute one sweep cell (in this process or a pool worker).
+
+    A pure function of the task: scenario and seeds drive every generator,
+    the cache simulation is trace-exact, and ``metrics()`` excludes
+    wall-clock — so the same task returns identical metrics in any process,
+    which is what lets the parallel sweep reproduce the serial (and golden)
+    results bit for bit.
+    """
+    from ..engine import ExecutionConfig
+    from ..workloads import PipelineRunner, PipelineRunnerConfig
+
+    execution = ExecutionConfig(backend=task.backend, hardware=True,
+                                cache_config=task.cache_config)
+    runner = PipelineRunner.from_scenario(
+        task.scenario,
+        config=PipelineRunnerConfig(execution=execution),
+        n_frames=task.n_frames, seed=task.seed,
+        n_beams=task.n_beams, n_azimuth_steps=task.n_azimuth_steps,
+    )
+    return HardwareScenarioRun(scenario=task.scenario,
+                               mode=mode_label(task.backend),
+                               metrics=runner.run().metrics(),
+                               backend=task.backend)
+
+
 class HardwareScenarioSweep:
     """Runs every scenario x execution backend in hardware-in-the-loop mode.
 
@@ -119,15 +174,20 @@ class HardwareScenarioSweep:
     registry name; ``cache_config`` optionally pins the recorded machine's
     cache geometry for sensitivity sweeps.  The sensor preset
     (``n_frames``/``n_beams``/``n_azimuth_steps``) applies to every run so
-    the rows of the resulting matrix are comparable.  The sweep is
-    deterministic: same scenarios, same preset, same seeds, same result.
+    the rows of the resulting matrix are comparable.
+
+    ``n_jobs`` selects how many worker processes run the sweep's cells
+    (``None``/``1`` = serial in this process).  The sweep is deterministic
+    either way: same scenarios, same preset, same seeds, same result — the
+    parallel path collects results by task index, so worker completion
+    order never reaches the output.
     """
 
     def __init__(self, scenarios: Optional[Sequence[str]] = None, *,
                  n_frames: int = 3, seed: Optional[int] = None,
                  n_beams: int = 18, n_azimuth_steps: int = 180,
                  backends: Optional[Sequence[str]] = None,
-                 cache_config=None):
+                 cache_config=None, n_jobs: Optional[int] = None):
         from ..scenarios import scenario_names
 
         self.scenarios = list(scenarios) if scenarios is not None else scenario_names()
@@ -137,31 +197,25 @@ class HardwareScenarioSweep:
         self.seed = seed
         self.n_beams = n_beams
         self.n_azimuth_steps = n_azimuth_steps
+        self.n_jobs = 1 if n_jobs is None else n_jobs
 
-    def _run_one(self, scenario: str, backend: str) -> HardwareScenarioRun:
-        from ..engine import ExecutionConfig
-        from ..workloads import PipelineRunner, PipelineRunnerConfig
-
-        execution = ExecutionConfig(backend=backend, hardware=True,
-                                    cache_config=self.cache_config)
-        runner = PipelineRunner.from_scenario(
-            scenario,
-            config=PipelineRunnerConfig(execution=execution),
-            n_frames=self.n_frames, seed=self.seed,
-            n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,
-        )
-        return HardwareScenarioRun(scenario=scenario,
-                                   mode=mode_label(backend),
-                                   metrics=runner.run().metrics(),
-                                   backend=backend)
-
-    def run(self) -> HardwareSweepResult:
-        """Execute the sweep and return the structured result."""
-        runs = [
-            self._run_one(scenario, backend)
+    def tasks(self) -> List[SweepTask]:
+        """The sweep's cells in deterministic (scenario-major) order."""
+        return [
+            SweepTask(scenario=scenario, backend=backend,
+                      n_frames=self.n_frames, seed=self.seed,
+                      n_beams=self.n_beams,
+                      n_azimuth_steps=self.n_azimuth_steps,
+                      cache_config=self.cache_config)
             for scenario in self.scenarios
             for backend in self.backends
         ]
+
+    def run(self) -> HardwareSweepResult:
+        """Execute the sweep (serial or pooled) and return the result."""
+        from ..engine.parallel import process_map
+
+        runs = process_map(run_sweep_task, self.tasks(), n_jobs=self.n_jobs)
         return HardwareSweepResult(
             runs=runs, n_frames=self.n_frames,
             n_beams=self.n_beams, n_azimuth_steps=self.n_azimuth_steps,

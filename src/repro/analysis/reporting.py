@@ -199,6 +199,48 @@ def render_hw_matrix(sweep) -> str:
     )
 
 
+def render_cache_sensitivity(result) -> str:
+    """Cache-geometry sensitivity table: the Bonsai win per geometry.
+
+    Takes a :class:`~repro.analysis.cache_sweep.CacheSweepResult` and renders
+    one row per geometry variant with the two modes' traffic and energy
+    totals (summed over scenarios and stages) side by side.  Demand bytes
+    are geometry-independent — that column's change is constant — while the
+    line-fill columns (L2->L1, DRAM->L2) and energy show where bigger caches
+    absorb the baseline's extra traffic and the Bonsai byte win stops
+    paying off.
+    """
+    rows = []
+    for row in result.comparison_rows():
+        geometry = row["geometry"]
+        base, other, change = row["base"], row["other"], row["change"]
+        rows.append((
+            geometry.name,
+            geometry.label,
+            _pct(change["bytes_loaded"], signed=True),
+            f"{base['l2_to_l1_bytes']:,}",
+            f"{other['l2_to_l1_bytes']:,}",
+            _pct(change["l2_to_l1_bytes"], signed=True),
+            f"{base['dram_to_l2_bytes']:,}",
+            f"{other['dram_to_l2_bytes']:,}",
+            _pct(change["dram_to_l2_bytes"], signed=True),
+            _pct(change["cycles"], signed=True),
+            _pct(change["energy_j"], signed=True),
+        ))
+    scenario_set = sorted({run.scenario
+                           for geo in result.runs for run in geo.sweep.runs})
+    return render_table(
+        ("Geometry", "L1/L2", "Demand chg", "L2->L1 B", "L2->L1 B (B)",
+         "Change", "DRAM->L2 B", "DRAM->L2 B (B)", "Change",
+         "Cycles chg", "Energy chg"),
+        rows,
+        title=(f"Cache-geometry sensitivity - {len(scenario_set)} scenarios "
+               f"({', '.join(scenario_set)}), {result.n_frames} frames at "
+               f"{result.n_beams}x{result.n_azimuth_steps} rays "
+               f"((B) = Bonsai-extensions; totals over scenarios+stages)"),
+    )
+
+
 def render_table5(estimates: Mapping[str, object], table_v) -> str:
     """Table V: area and power of the K-D Bonsai additions."""
     compression = estimates["compression_unit"]

@@ -23,15 +23,24 @@ The CLI exposes the most common flows without writing Python:
 ``python -m repro pipeline --scenario <name>``
     Run the end-to-end perception pipeline (clustering → filtering →
     tracking → NDT localization) over a scenario sequence and print the
-    per-stage report.  ``--backend`` selects the execution backend by name;
-    with ``--hardware`` the search stages run through the trace-driven
+    per-stage report.  ``--backend`` selects the execution backend by name
+    (including the multiprocessing ``*-batched-mp`` strategies); with
+    ``--hardware`` the search stages run through the trace-driven
     cache/timing/energy models (:mod:`repro.hwmodel`) and the per-stage
     hardware report (miss ratios, bytes per level, cycles, energy) is
     printed as well.
+``python -m repro hw-sweep``
+    Run the hardware-in-the-loop scenario matrix — every selected world ×
+    execution backend through the trace-driven models — across ``--jobs``
+    worker processes with a deterministic merge, and print the matrix.
+    With ``--cache-geometry`` (repeatable) the matrix is re-run per named
+    L1/L2 geometry variation and the cache-sensitivity table is printed
+    instead (see ``docs/PERFORMANCE.md`` for how to read it).
 
-Scenario names and backend names in ``--help`` output come straight from
-their registries (:mod:`repro.scenarios`, :mod:`repro.engine`), so the
-listings never drift from the code.
+Scenario names, backend names and cache-geometry names in ``--help`` output
+come straight from their registries (:mod:`repro.scenarios`,
+:mod:`repro.engine`, :mod:`repro.analysis.cache_sweep`), so the listings
+never drift from the code.
 """
 
 from __future__ import annotations
@@ -46,19 +55,30 @@ import numpy as np
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (worker/job counts)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser.
 
-    Scenario- and backend-taking commands pull the available names from
-    their registries at parser-build time, so ``--help`` always lists
-    exactly the registered scenarios and execution backends — there is no
-    hand-maintained list to drift.
+    Scenario-, backend- and geometry-taking commands pull the available
+    names from their registries at parser-build time, so ``--help`` always
+    lists exactly the registered scenarios, execution backends and cache
+    geometries — there is no hand-maintained list to drift.
     """
+    from .analysis.cache_sweep import geometry_names
     from .engine import backend_names
     from .scenarios import scenario_names
 
     registered = ", ".join(scenario_names())
     backends = backend_names()
+    geometries = geometry_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="K-D Bonsai reproduction command-line interface",
@@ -143,6 +163,37 @@ def build_parser() -> argparse.ArgumentParser:
                           help="hardware-in-the-loop mode: run the search stages "
                                "through the trace-driven cache/timing/energy models "
                                "and print the per-stage hardware report")
+
+    hw_sweep = subparsers.add_parser(
+        "hw-sweep",
+        help="parallel hardware-in-the-loop sweep across scenarios "
+             "(optionally across cache geometries)",
+        description=f"Registered scenarios: {registered}")
+    hw_sweep.add_argument("--scenario", action="append", dest="scenarios",
+                          default=None, metavar="NAME",
+                          help="scenario to include (repeatable; "
+                               "default: every registered scenario)")
+    hw_sweep.add_argument("--backend", action="append", dest="backends",
+                          choices=backends, default=None,
+                          help="execution backend to sweep (repeatable; "
+                               "default: baseline-batched and bonsai-batched)")
+    hw_sweep.add_argument("--frames", type=int, default=3,
+                          help="frames per scenario run")
+    hw_sweep.add_argument("--seed", type=int, default=None,
+                          help="scene/sensor seed (default: the scenario's)")
+    hw_sweep.add_argument("--beams", type=int, default=18, help="LiDAR beams")
+    hw_sweep.add_argument("--azimuth-steps", type=int, default=180,
+                          help="LiDAR azimuth steps")
+    hw_sweep.add_argument("--jobs", type=_positive_int, default=None,
+                          help="worker processes running sweep cells "
+                               "(default: auto — at most 4, honours "
+                               "REPRO_MP_WORKERS; 1 = serial)")
+    hw_sweep.add_argument("--cache-geometry", action="append",
+                          dest="cache_geometries", choices=geometries,
+                          default=None,
+                          help="re-run the matrix under this named L1/L2 "
+                               "geometry and print the sensitivity table "
+                               "(repeatable; omit for the plain matrix)")
 
     return parser
 
@@ -414,6 +465,37 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hw_sweep(args: argparse.Namespace) -> int:
+    from .analysis import (
+        CacheGeometrySweep,
+        HardwareScenarioSweep,
+        render_cache_sensitivity,
+        render_hw_matrix,
+    )
+    from .engine.parallel import resolve_workers
+
+    if args.backends is not None and len(set(args.backends)) < 2:
+        # The matrix and the sensitivity table both compare a backend pair;
+        # a single --backend has nothing to compare against.
+        raise SystemExit(
+            "repro hw-sweep: need at least two distinct --backend values "
+            "to compare (default: baseline-batched vs bonsai-batched)")
+    jobs = resolve_workers(args.jobs)
+    common = dict(n_frames=args.frames, seed=args.seed, n_beams=args.beams,
+                  n_azimuth_steps=args.azimuth_steps, backends=args.backends,
+                  n_jobs=jobs)
+    if args.cache_geometries:
+        sweep = CacheGeometrySweep(args.cache_geometries, args.scenarios,
+                                   **common)
+        print(render_cache_sensitivity(sweep.run()))
+    else:
+        sweep = HardwareScenarioSweep(args.scenarios, **common)
+        print(render_hw_matrix(sweep.run()))
+    print(f"\nran {len(sweep.tasks())} hardware-in-the-loop runs "
+          f"across {jobs} worker process(es)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
@@ -422,6 +504,7 @@ _COMMANDS = {
     "batch-sweep": _cmd_batch_sweep,
     "scenarios": _cmd_scenarios,
     "pipeline": _cmd_pipeline,
+    "hw-sweep": _cmd_hw_sweep,
 }
 
 

@@ -10,14 +10,21 @@ API, so every consumer (workloads, benchmarks, the CLI) carried
 
 This module normalises them behind one :class:`SearchBackend` protocol:
 
-==================== ============================================== =========
-name                 implementation                                 leaf data
-==================== ============================================== =========
-``baseline-perquery`` one traversal per query                        32-bit
-``baseline-batched``  one traversal per batch (:mod:`repro.runtime`) 32-bit
-``bonsai-perquery``   per-query compressed search (:mod:`repro.core`) compressed
-``bonsai-batched``    batched compressed search                      compressed
-==================== ============================================== =========
+======================== ============================================== =========
+name                     implementation                                 leaf data
+======================== ============================================== =========
+``baseline-perquery``    one traversal per query                        32-bit
+``baseline-batched``     one traversal per batch (:mod:`repro.runtime`) 32-bit
+``baseline-batched-mp``  batch sharded across worker processes          32-bit
+``bonsai-perquery``      per-query compressed search (:mod:`repro.core`) compressed
+``bonsai-batched``       batched compressed search                      compressed
+``bonsai-batched-mp``    compressed batch sharded across processes      compressed
+======================== ============================================== =========
+
+The four single-process backends live here; the two multiprocessing
+strategies live in :mod:`repro.engine.parallel` (they compose the batched
+backends below through the registry).  ``docs/PERFORMANCE.md`` is the
+selection guide, with measured throughput per backend.
 
 Every backend — whatever its internal execution strategy — returns the
 uniform batched containers (:class:`~repro.runtime.batch.BatchRadiusResult`,
@@ -25,8 +32,10 @@ uniform batched containers (:class:`~repro.runtime.batch.BatchRadiusResult`,
 radius hits, and accumulates the shared counters
 (:class:`~repro.kdtree.radius_search.SearchStats`, plus
 :class:`~repro.core.bonsai_search.BonsaiStats` for the compressed flavours).
-All four produce *identical* functional results; the cross-backend parity
-suite (``tests/test_backend_parity.py``) locks that down.
+All of them produce *identical* functional results; the cross-backend parity
+suite (``tests/test_backend_parity.py``) locks that down for every
+registered name — including the multiprocessing ones, whose shard merge is
+bitwise-deterministic whatever the worker completion order.
 
 Any backend composes with :func:`recorded`, which rebuilds it on the
 per-query path with a :class:`~repro.hwmodel.cache.HierarchyRecorder`
@@ -78,6 +87,15 @@ class SearchBackend(Protocol):
     backend's native traversal order, which the recorded paths depend on).
     ``stats`` always accumulates; ``bonsai_stats`` is ``None`` on the
     baseline flavours and ``recorder`` is ``None`` on unrecorded backends.
+
+    Units and determinism: queries and radii are in the cloud's coordinate
+    unit (metres for every built-in scenario), returned distances are
+    euclidean in the same unit, and byte counters
+    (``stats.point_bytes_loaded`` etc.) are in bytes.  For a given tree and
+    query batch every registered backend must return bitwise-identical hits
+    and neighbours and charge identical functional counters — execution
+    strategy (per-query, batched, multiprocessing) is never allowed to show
+    up in results.
     """
 
     name: str

@@ -143,8 +143,11 @@ class PointCloudIndex:
         """All indexed points within ``radius`` of each query.
 
         Identical results whatever backend serves the batch (per-query
-        index-sorted CSR form); only the statistics the backends accumulate
-        differ.
+        index-sorted CSR form) — including the multiprocessing strategies,
+        whose shard merge is deterministic — so backend choice is purely a
+        throughput/statistics decision (see ``docs/PERFORMANCE.md``).
+        ``radius`` is in the cloud's coordinate unit (metres for the
+        built-in scenarios).
         """
         return self.backend(backend, recorded=recorded).radius_search(queries, radius)
 

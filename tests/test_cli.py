@@ -87,10 +87,50 @@ class TestParser:
         from repro.engine import backend_names
 
         subparsers = build_parser()._subparsers._group_actions[0].choices
-        for command in ("pipeline", "batch-sweep"):
+        for command in ("pipeline", "batch-sweep", "hw-sweep"):
             text = subparsers[command].format_help()
             for name in backend_names():
                 assert name in text, (command, name)
+
+    def test_hw_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["hw-sweep", "--scenario", "urban", "--scenario", "tunnel",
+             "--jobs", "4", "--frames", "2",
+             "--cache-geometry", "l1-8k", "--cache-geometry", "table-iv"])
+        assert args.scenarios == ["urban", "tunnel"]
+        assert args.jobs == 4
+        assert args.cache_geometries == ["l1-8k", "table-iv"]
+        defaults = build_parser().parse_args(["hw-sweep"])
+        assert defaults.scenarios is None and defaults.jobs is None
+        assert defaults.cache_geometries is None and defaults.backends is None
+
+    def test_hw_sweep_help_names_every_cache_geometry(self):
+        """--help must list the geometry registry's names, with no drift."""
+        from repro.analysis.cache_sweep import geometry_names
+
+        subparsers = build_parser()._subparsers._group_actions[0].choices
+        text = subparsers["hw-sweep"].format_help()
+        for name in geometry_names():
+            assert name in text, name
+
+    def test_hw_sweep_rejects_unknown_geometry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["hw-sweep", "--cache-geometry", "l1-infinite"])
+
+    def test_hw_sweep_rejects_nonpositive_jobs(self):
+        for jobs in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["hw-sweep", "--jobs", jobs])
+
+    def test_hw_sweep_rejects_single_backend(self):
+        """The sweep compares backend pairs; one backend is a usage error."""
+        with pytest.raises(SystemExit, match="at least two distinct"):
+            main(["hw-sweep", "--scenario", "urban",
+                  "--backend", "bonsai-batched"])
+        with pytest.raises(SystemExit, match="at least two distinct"):
+            main(["hw-sweep", "--scenario", "urban",
+                  "--backend", "bonsai-batched", "--backend", "bonsai-batched"])
 
 
 class TestCommands:
@@ -194,3 +234,29 @@ class TestCommands:
     def test_pipeline_unknown_scenario(self):
         with pytest.raises(KeyError, match="unknown scenario"):
             main(["pipeline", "--scenario", "mars_colony"])
+
+    def test_pipeline_mp_backend_by_name(self, capsys):
+        code = main(["pipeline", "--scenario", "urban", "--frames", "2",
+                     "--beams", "10", "--azimuth-steps", "90",
+                     "--backend", "baseline-batched-mp", "--no-localization"])
+        assert code == 0
+        assert "via baseline-batched-mp" in capsys.readouterr().out
+
+    def test_hw_sweep_matrix(self, capsys):
+        code = main(["hw-sweep", "--scenario", "urban", "--frames", "2",
+                     "--beams", "10", "--azimuth-steps", "90", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hardware scenario matrix" in out
+        assert "ran 2 hardware-in-the-loop runs across 2 worker" in out
+
+    def test_hw_sweep_cache_geometry_table(self, capsys):
+        code = main(["hw-sweep", "--scenario", "urban", "--frames", "2",
+                     "--beams", "10", "--azimuth-steps", "90", "--jobs", "2",
+                     "--cache-geometry", "table-iv",
+                     "--cache-geometry", "l1-8k"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cache-geometry sensitivity" in out
+        assert "l1-8k" in out
+        assert "ran 4 hardware-in-the-loop runs" in out

@@ -15,6 +15,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+PERFORMANCE = REPO / "docs" / "PERFORMANCE.md"
 README = REPO / "README.md"
 SRC = REPO / "src" / "repro"
 
@@ -53,6 +54,36 @@ def test_readme_links_architecture_doc():
     assert "docs/ARCHITECTURE.md" in README.read_text(encoding="utf-8")
 
 
+def test_performance_doc_exists():
+    assert PERFORMANCE.exists(), "docs/PERFORMANCE.md is a deliverable"
+
+
+def test_readme_links_performance_doc():
+    assert "docs/PERFORMANCE.md" in README.read_text(encoding="utf-8")
+
+
+def test_performance_doc_covers_every_backend_and_geometry():
+    """The selection guide must name every registered backend and cache
+    geometry — a new registration without a guide entry is doc drift."""
+    from repro.analysis.cache_sweep import geometry_names
+    from repro.engine import backend_names
+
+    text = PERFORMANCE.read_text(encoding="utf-8")
+    for name in backend_names():
+        assert f"`{name}`" in text, f"{name} missing from docs/PERFORMANCE.md"
+    for name in geometry_names():
+        assert f"`{name}`" in text, f"{name} missing from docs/PERFORMANCE.md"
+
+
+def test_readme_backend_matrix_lists_every_backend():
+    """The README backend table must list every registered backend name."""
+    from repro.engine import backend_names
+
+    text = README.read_text(encoding="utf-8")
+    for name in backend_names():
+        assert f"`{name}`" in text, f"{name} missing from README backend matrix"
+
+
 def test_module_tree_matches_src_exactly():
     """Every file under src/repro is in the doc tree, and vice versa."""
     actual = {
@@ -78,8 +109,9 @@ def test_every_package_described_in_layers():
         assert f"repro.{package}" in text, f"repro.{package} not described"
 
 
-@pytest.mark.parametrize("doc", ["docs/ARCHITECTURE.md", "README.md"],
-                         ids=["architecture", "readme"])
+@pytest.mark.parametrize("doc", ["docs/ARCHITECTURE.md", "docs/PERFORMANCE.md",
+                                 "README.md"],
+                         ids=["architecture", "performance", "readme"])
 def test_relative_links_resolve(doc):
     path = REPO / doc
     for target in LINK_RE.findall(path.read_text(encoding="utf-8")):

@@ -1,0 +1,286 @@
+"""Lockdown of the multiprocessing backends' determinism contract.
+
+The cross-backend parity suite (``test_backend_parity.py``) already fuzzes
+the ``-mp`` backends against the reference because they are registry names.
+This file locks down what parity alone cannot show: that the parallel path
+really shards and merges (not silently falling back to serial), that the
+merge is **order-independent** — shuffled worker completion order yields
+identical merged results and statistics — and that the end-to-end pipeline
+produces identical golden-grade metrics through the parallel backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import get_backend
+from repro.engine.parallel import (
+    MIN_PARALLEL_QUERIES,
+    merge_knn_shards,
+    merge_radius_shards,
+    plan_shards,
+    process_map,
+    resolve_workers,
+)
+from repro.kdtree import SearchStats, build_kdtree
+
+MP_BACKENDS = ("baseline-batched-mp", "bonsai-batched-mp")
+RADIUS = 0.8
+K = 6
+
+
+@pytest.fixture(scope="module")
+def case():
+    """A batch comfortably above the parallel threshold."""
+    rng = np.random.default_rng(11)
+    points = rng.uniform(-15.0, 15.0, (5000, 3)).astype(np.float32)
+    tree = build_kdtree(points)
+    base = points[rng.integers(0, len(points), 400)]
+    queries = base.astype(np.float64) + rng.normal(0.0, 0.3, base.shape)
+    assert queries.shape[0] >= MIN_PARALLEL_QUERIES
+    return tree, queries
+
+
+def _stats_tuple(stats: SearchStats):
+    return (stats.queries, stats.leaves_visited, stats.interior_visited,
+            stats.points_examined, stats.points_in_radius,
+            stats.point_bytes_loaded, stats.leaf_visit_counts)
+
+
+# ----------------------------------------------------------------------
+# Bitwise parity of the genuinely parallel path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", MP_BACKENDS)
+class TestParallelPathParity:
+    def test_radius_bitwise_identical_to_single_process(self, case, name):
+        tree, queries = case
+        mp_backend = get_backend(name, tree)
+        assert mp_backend._use_parallel(queries.shape[0])  # really parallel
+        reference = get_backend(mp_backend.inner_name, tree)
+        got = mp_backend.radius_search(queries, RADIUS)
+        want = reference.radius_search(queries, RADIUS)
+        assert got.offsets.dtype == want.offsets.dtype
+        assert got.point_indices.dtype == want.point_indices.dtype
+        assert np.array_equal(got.offsets, want.offsets)
+        assert np.array_equal(got.point_indices, want.point_indices)
+
+    def test_knn_bitwise_identical_to_single_process(self, case, name):
+        tree, queries = case
+        mp_backend = get_backend(name, tree)
+        reference = get_backend(mp_backend.inner_name, tree)
+        got = mp_backend.knn(queries, K)
+        want = reference.knn(queries, K)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.distances, want.distances)
+
+    def test_merged_search_stats_identical(self, case, name):
+        tree, queries = case
+        mp_stats, ref_stats = SearchStats(), SearchStats()
+        mp_backend = get_backend(name, tree, stats=mp_stats)
+        mp_backend.radius_search(queries, RADIUS)
+        get_backend(mp_backend.inner_name, tree,
+                    stats=ref_stats).radius_search(queries, RADIUS)
+        assert _stats_tuple(mp_stats) == _stats_tuple(ref_stats)
+
+    def test_serial_fallbacks_match_parallel(self, case, name):
+        """Tiny batches, one worker, and a huge threshold are all identical."""
+        tree, queries = case
+        want = get_backend(name, tree).radius_search(queries, RADIUS)
+        one_worker = get_backend(name, tree, n_workers=1)
+        forced_serial = get_backend(name, tree,
+                                    min_parallel_queries=10 ** 9)
+        assert not one_worker._use_parallel(queries.shape[0])
+        assert not forced_serial._use_parallel(queries.shape[0])
+        for backend in (one_worker, forced_serial):
+            got = backend.radius_search(queries, RADIUS)
+            assert np.array_equal(got.point_indices, want.point_indices)
+        small = get_backend(name, tree).radius_search(queries[:8], RADIUS)
+        assert np.array_equal(
+            small.point_indices,
+            get_backend(name, tree).radius_search(queries[:8], RADIUS).point_indices)
+
+
+def test_bonsai_stats_merge_identically(case):
+    tree, queries = case
+    reference = get_backend("bonsai-batched", tree)
+    parallel = get_backend("bonsai-batched-mp", tree)
+    reference.radius_search(queries, RADIUS)
+    parallel.radius_search(queries, RADIUS)
+    assert dataclasses.asdict(parallel.bonsai_stats) == \
+        dataclasses.asdict(reference.bonsai_stats)
+
+
+def test_pool_is_persistent_and_closeable(case):
+    """One pool per backend, reused across calls, torn down by close()."""
+    tree, queries = case
+    backend = get_backend("baseline-batched-mp", tree)
+    assert backend._pool is None  # lazy: no pool before the first parallel call
+    want = backend.radius_search(queries, RADIUS)
+    pool = backend._pool
+    assert pool is not None
+    backend.radius_search(queries, RADIUS)
+    assert backend._pool is pool  # reused, not rebuilt per call
+    backend.close()
+    assert backend._pool is None
+    backend.close()  # idempotent
+    # A call after close() restarts a fresh pool and still agrees.
+    again = backend.radius_search(queries, RADIUS)
+    assert backend._pool is not None and backend._pool is not pool
+    assert np.array_equal(again.point_indices, want.point_indices)
+    backend.close()
+
+
+def test_compression_happens_once_in_the_parent(case):
+    """Workers must receive the already-compressed tree."""
+    tree, queries = case
+    fresh = build_kdtree(tree.points)
+    backend = get_backend("bonsai-batched-mp", fresh)
+    assert backend.report is not None  # parent compressed on construction
+    backend.radius_search(queries, RADIUS)
+    # A second mp backend over the same tree sees it pre-compressed.
+    assert get_backend("bonsai-batched-mp", fresh).report is None
+
+
+# ----------------------------------------------------------------------
+# Order independence of the merge
+# ----------------------------------------------------------------------
+class TestOrderIndependence:
+    """Shuffled worker completion order cannot change any merged output."""
+
+    def _shard_parts(self, tree, queries, inner_name):
+        parts = []
+        for start, stop in plan_shards(queries.shape[0], 4):
+            stats = SearchStats()
+            backend = get_backend(inner_name, tree, stats=stats)
+            result = backend.radius_search(queries[start:stop], RADIUS)
+            parts.append((result, stats, backend.bonsai_stats))
+        return parts
+
+    @pytest.mark.parametrize("inner", ["baseline-batched", "bonsai-batched"])
+    def test_shuffled_completion_order_same_merge(self, case, inner):
+        tree, queries = case
+        want = get_backend(inner, tree).radius_search(queries, RADIUS)
+        want_stats = SearchStats()
+        get_backend(inner, tree, stats=want_stats).radius_search(queries, RADIUS)
+
+        parts = self._shard_parts(tree, queries, inner)
+        for seed in (0, 1, 2):
+            # Simulate workers finishing in arbitrary order: shuffle the
+            # (index, part) arrivals, then merge exactly as the backend does
+            # — results by shard index, statistics by commutative merge in
+            # arrival order.
+            arrivals = list(enumerate(parts))
+            np.random.default_rng(seed).shuffle(arrivals)
+            by_index = [part for _, part in sorted(arrivals, key=lambda a: a[0])]
+            merged = merge_radius_shards([result for result, _, _ in by_index])
+            assert np.array_equal(merged.offsets, want.offsets)
+            assert np.array_equal(merged.point_indices, want.point_indices)
+
+            merged_stats = SearchStats()
+            merged_bonsai = None
+            for _, (_, stats, bonsai) in arrivals:
+                merged_stats.merge(stats)
+                if bonsai is not None:
+                    if merged_bonsai is None:
+                        from repro.core.bonsai_search import BonsaiStats
+                        merged_bonsai = BonsaiStats()
+                    merged_bonsai.merge(bonsai)
+            assert _stats_tuple(merged_stats) == _stats_tuple(want_stats)
+            if merged_bonsai is not None:
+                reference = get_backend(inner, tree)
+                reference.radius_search(queries, RADIUS)
+                assert dataclasses.asdict(merged_bonsai) == \
+                    dataclasses.asdict(reference.bonsai_stats)
+
+    def test_knn_merge_is_pure_row_stacking(self, case):
+        tree, queries = case
+        want = get_backend("baseline-batched", tree).knn(queries, K)
+        shards = []
+        for start, stop in plan_shards(queries.shape[0], 5):
+            shards.append(get_backend("baseline-batched", tree)
+                          .knn(queries[start:stop], K))
+        merged = merge_knn_shards(shards)
+        assert np.array_equal(merged.indices, want.indices)
+        assert np.array_equal(merged.distances, want.distances)
+
+    def test_hierarchy_stats_merge_commutes(self, case):
+        """The sweep's HierarchyStats merge is order-insensitive too."""
+        from repro.engine import ExecutionConfig
+
+        tree, queries = case
+        halves = []
+        for chunk in (queries[:40], queries[40:80]):
+            backend = ExecutionConfig(hardware=True).make_backend(tree)
+            backend.radius_search(chunk, RADIUS)
+            halves.append(backend.hierarchy)
+        from repro.hwmodel.cache import HierarchyStats
+        ab, ba = HierarchyStats(), HierarchyStats()
+        ab.merge(halves[0]); ab.merge(halves[1])
+        ba.merge(halves[1]); ba.merge(halves[0])
+        assert dataclasses.asdict(ab) == dataclasses.asdict(ba)
+
+
+# ----------------------------------------------------------------------
+# The pipeline through the parallel backends (golden-grade metrics)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flavor", ["baseline", "bonsai"])
+def test_pipeline_metrics_identical_through_mp_backend(flavor):
+    """End-to-end metrics cannot tell ``-batched`` from ``-batched-mp``."""
+    import json
+
+    from repro.engine import ExecutionConfig
+    from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+    preset = dict(n_frames=2, seed=7, n_beams=10, n_azimuth_steps=90)
+
+    def metrics(backend):
+        runner = PipelineRunner.from_scenario(
+            "urban", config=PipelineRunnerConfig(
+                execution=ExecutionConfig(backend=backend)), **preset)
+        return json.dumps(runner.run().metrics(), sort_keys=True)
+
+    assert metrics(f"{flavor}-batched-mp") == metrics(f"{flavor}-batched")
+
+
+# ----------------------------------------------------------------------
+# Shard planning and pool utilities
+# ----------------------------------------------------------------------
+def _slow_echo(item):
+    """Completes in *reverse* submission order (later items finish first)."""
+    index, total = item
+    time.sleep(0.01 * (total - index))
+    return index
+
+
+class TestUtilities:
+    def test_plan_shards_contiguous_and_complete(self):
+        for n, k in ((400, 4), (5, 8), (1, 3), (97, 3)):
+            shards = plan_shards(n, k)
+            assert shards[0][0] == 0 and shards[-1][1] == n
+            assert all(stop > start for start, stop in shards)
+            assert all(shards[i][1] == shards[i + 1][0]
+                       for i in range(len(shards) - 1))
+            assert len(shards) == min(n, k)
+        assert plan_shards(0, 4) == []
+
+    def test_resolve_workers_precedence(self, monkeypatch):
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_MP_WORKERS", "7")
+        assert resolve_workers() == 7
+        monkeypatch.delenv("REPRO_MP_WORKERS")
+        assert resolve_workers() >= 2
+
+    def test_process_map_preserves_item_order(self):
+        """Results come back in item order even when completion inverts it."""
+        items = [(i, 6) for i in range(6)]
+        assert process_map(_slow_echo, items, n_jobs=3) == list(range(6))
+
+    def test_process_map_serial_fallback(self):
+        items = [(i, 2) for i in range(2)]
+        assert process_map(_slow_echo, items, n_jobs=1) == [0, 1]
