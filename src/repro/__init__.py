@@ -37,6 +37,9 @@ Subpackages
     Autoware-like pipelines, execution-share profiling and sub-sampling.
 ``repro.analysis``
     Metrics, baseline-vs-Bonsai comparison and report rendering.
+``repro.campaign``
+    Differential-testing campaign engine: randomized worlds fired at every
+    registered backend, pairwise diffing, divergence shrinking.
 
 Top-level exports
 -----------------
@@ -80,19 +83,18 @@ instead of spelling out the subpackage:
     (:mod:`repro.analysis.cache_sweep`) — the cache-sensitivity driver.
 ``scenario_names()`` / ``get_scenario`` / ``build_scene`` / ``build_sequence``
     The scenario library registry (:mod:`repro.scenarios`).
+``run_campaign`` / ``CampaignConfig`` / ``random_world``
+    The differential-testing campaign engine (:mod:`repro.campaign`).
 
-Deprecated top-level exports — kept working, delegating to the engine layer,
-but warning on use (see :mod:`repro.engine.compat`):
-
-``batch_radius_search`` / ``batch_knn``
-    Use ``PointCloudIndex`` or ``get_backend("baseline-batched", tree)``.
-``BonsaiRadiusSearch``
-    Use ``get_backend("bonsai-perquery", tree)``.
+The pre-engine deprecated exports (``batch_radius_search``, ``batch_knn``,
+``BonsaiRadiusSearch``) completed their deprecation cycle and were removed
+in 2.0; use ``get_backend(...)`` / ``PointCloudIndex`` (the batched engines
+remain available undeprecated as :mod:`repro.runtime` functions).
 """
 
 from importlib import import_module
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 #: Lazy export table: public name -> defining submodule.
 _EXPORTS = {
@@ -106,11 +108,9 @@ _EXPORTS = {
     "get_backend": "repro.engine",
     "BatchQueryEngine": "repro.runtime",
     "BonsaiBatchSearcher": "repro.runtime",
-    # Deprecated entry points: resolved through repro.engine.compat, which
-    # wraps them in a DeprecationWarning while delegating to the backends.
-    "batch_radius_search": "repro.engine.compat",
-    "batch_knn": "repro.engine.compat",
-    "BonsaiRadiusSearch": "repro.engine.compat",
+    "CampaignConfig": "repro.campaign",
+    "run_campaign": "repro.campaign",
+    "random_world": "repro.campaign",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
     "HardwareScenarioSweep": "repro.analysis",

@@ -36,6 +36,13 @@ The CLI exposes the most common flows without writing Python:
     With ``--cache-geometry`` (repeatable) the matrix is re-run per named
     L1/L2 geometry variation and the cache-sensitivity table is printed
     instead (see ``docs/PERFORMANCE.md`` for how to read it).
+``python -m repro campaign``
+    Run a differential-testing campaign (:mod:`repro.campaign`):
+    ``--budget`` seed-derived randomized worlds, each fired at every
+    selected backend (plus the recorded hardware wrappers), results and
+    statistics diffed pairwise, divergences shrunk to minimal pytest
+    reproducers.  Writes a JSON manifest under ``--out-dir`` and exits
+    non-zero when any divergence was found.
 
 Scenario names, backend names and cache-geometry names in ``--help`` output
 come straight from their registries (:mod:`repro.scenarios`,
@@ -195,7 +202,55 @@ def build_parser() -> argparse.ArgumentParser:
                                "geometry and print the sensitivity table "
                                "(repeatable; omit for the plain matrix)")
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="differential-testing campaign: randomized worlds x every "
+             "backend, divergences diffed and shrunk",
+        description=f"Registered scenarios: {registered}")
+    campaign.add_argument("--budget", type=_positive_int, default=25,
+                          help="number of randomized worlds to test")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (worlds derive from it "
+                               "deterministically)")
+    campaign.add_argument("--backend", action="append", dest="backends",
+                          choices=backends, default=None,
+                          help="backend under test (repeatable; default: "
+                               "every registered backend)")
+    campaign.add_argument("--scenario", action="append", dest="scenarios",
+                          default=None, metavar="NAME",
+                          help="restrict sampled worlds to this scenario "
+                               "(repeatable; default: every registered one)")
+    campaign.add_argument("--out-dir", type=Path,
+                          default=Path("campaign-results"),
+                          help="directory the campaign result dir is "
+                               "written under")
+    campaign.add_argument("--no-recorded", action="store_true",
+                          help="skip the recorded hardware-wrapper diffs")
+    campaign.add_argument("--no-shrink", action="store_true",
+                          help="report divergences without shrinking them")
+    campaign.add_argument("--max-shrink-evals", type=_positive_int,
+                          default=200,
+                          help="evaluation budget of each shrink run")
+
     return parser
+
+
+def _check_scenarios(command: str, names) -> None:
+    """Exit with the registry listing when any scenario name is unknown.
+
+    ``--scenario`` stays free-form in the parser (eight registered names
+    would bloat ``--help`` as argparse choices), so commands validate here
+    — same non-zero-exit-with-choices behaviour the ``choices``-backed
+    ``--backend``/``--cache-geometry`` flags get from argparse.
+    """
+    from .scenarios import scenario_names
+
+    registered = scenario_names()
+    for name in names:
+        if name not in registered:
+            raise SystemExit(
+                f"repro {command}: unknown scenario {name!r}; "
+                f"registered: {', '.join(registered)}")
 
 
 def _sequence(n_frames: int, seed: int):
@@ -395,6 +450,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from .engine import ExecutionConfig
     from .workloads import PipelineRunner, PipelineRunnerConfig
 
+    _check_scenarios("pipeline", [args.scenario])
     backend = args.backend
     if backend is None:
         backend = "bonsai-batched" if args.bonsai else "baseline-batched"
@@ -474,6 +530,8 @@ def _cmd_hw_sweep(args: argparse.Namespace) -> int:
     )
     from .engine.parallel import resolve_workers
 
+    if args.scenarios is not None:
+        _check_scenarios("hw-sweep", args.scenarios)
     if args.backends is not None and len(set(args.backends)) < 2:
         # The matrix and the sensitivity table both compare a backend pair;
         # a single --backend has nothing to compare against.
@@ -496,6 +554,36 @@ def _cmd_hw_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignConfig, run_campaign
+
+    if args.scenarios is not None:
+        _check_scenarios("campaign", args.scenarios)
+    config = CampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        backends=args.backends,
+        scenarios=args.scenarios,
+        out_dir=args.out_dir,
+        recorded=not args.no_recorded,
+        shrink=not args.no_shrink,
+        max_shrink_evals=args.max_shrink_evals,
+    )
+    result = run_campaign(config, log=print)
+    backends = config.resolved_backends()
+    print(f"\ncampaign seed {config.seed}: {config.budget} worlds x "
+          f"{len(backends)} backend(s) "
+          f"(reference {config.reference_backend()}), "
+          f"{result.n_divergences} divergence(s)")
+    print(f"manifest: {result.manifest_path}")
+    if result.n_divergences:
+        shrunk = [d for d in result.divergences if d.reproducer is not None]
+        for divergence in shrunk:
+            print(f"  reproducer: {result.result_dir / divergence.reproducer}")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
@@ -505,6 +593,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "pipeline": _cmd_pipeline,
     "hw-sweep": _cmd_hw_sweep,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -134,6 +134,23 @@ class PointCloudIndex:
             self._backends[key] = backend
         return backend
 
+    def close(self) -> None:
+        """Release every cached backend (idempotent; the index stays usable).
+
+        Backends that own external resources — the ``*-batched-mp``
+        strategies and their persistent worker pools — are closed; the
+        backend cache is then cleared, so the next query builds fresh
+        backends (and a fresh pool) while the tree and its compression are
+        kept.  Merged statistics reset alongside the cache: they live on
+        the backend instances.  Calling :meth:`close` twice, or before any
+        backend was ever requested, is a no-op.
+        """
+        for backend in self._backends.values():
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+        self._backends.clear()
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -45,7 +45,6 @@ Example
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -100,20 +99,13 @@ class PipelineRunnerConfig:
     localization stages, and whether the searches run through the
     trace-driven hardware models — is one value, ``execution``
     (:class:`~repro.engine.execution.ExecutionConfig`).  The pre-engine
-    boolean pair (``use_bonsai`` / ``hardware``) still works but is
-    deprecated: passing either emits a ``DeprecationWarning`` and folds the
-    flags into ``execution``; after construction both attributes mirror the
-    resolved execution config, so existing readers keep seeing booleans.
-    An explicitly passed ``execution`` always wins over the booleans; when
-    they disagree the drop is announced with a ``DeprecationWarning``.  A
-    ``dataclasses.replace`` that swaps ``execution`` should therefore also
-    pass ``use_bonsai=None, hardware=None`` to clear the old mirrors.
+    boolean pair (``PipelineRunnerConfig(use_bonsai=..., hardware=...)``)
+    went through its deprecation cycle and has been removed; spell the mode
+    as ``execution=ExecutionConfig(backend=<name>, hardware=...)``.
     """
 
     #: The execution mode (backend name, hardware switch, cache geometry).
-    execution: Optional[ExecutionConfig] = None
-    #: Deprecated: use ``execution=ExecutionConfig(backend="bonsai-batched")``.
-    use_bonsai: Optional[bool] = None
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     #: Process only the first ``n_frames`` frames (``None``: the whole sequence).
     n_frames: Optional[int] = None
     #: ``(n_samples, sample_length)`` systematic frame sub-sampling applied to
@@ -135,40 +127,6 @@ class PipelineRunnerConfig:
     max_localization_scans: int = 4
     #: Odometry-style perturbation added to the ground-truth initial guess.
     initial_translation_error: Tuple[float, float, float] = (0.3, 0.2, 0.0)
-    #: Deprecated: use ``execution=ExecutionConfig(hardware=True)``.
-    hardware: Optional[bool] = None
-
-    def __post_init__(self) -> None:
-        execution = self.execution
-        legacy_given = self.use_bonsai is not None or self.hardware is not None
-        if execution is None:
-            if legacy_given:
-                warnings.warn(
-                    "PipelineRunnerConfig(use_bonsai=..., hardware=...) is "
-                    "deprecated; pass execution=ExecutionConfig(backend=<name>, "
-                    "hardware=...) instead",
-                    DeprecationWarning, stacklevel=3)
-            flavor = "bonsai" if self.use_bonsai else "baseline"
-            execution = ExecutionConfig(backend=f"{flavor}-batched",
-                                        hardware=bool(self.hardware))
-        elif (self.use_bonsai not in (None, execution.use_bonsai)
-              or self.hardware not in (None, execution.hardware)):
-            # ``execution`` is authoritative; legacy booleans disagreeing
-            # with it are dropped — but never silently, because the old
-            # ``replace(config, use_bonsai=...)`` idiom lands here and a
-            # silent drop would run the wrong backend.  (A replace() that
-            # swaps ``execution`` must pass ``use_bonsai=None, hardware=None``
-            # to clear the old mirrors, as ``from_scenario`` does.)
-            warnings.warn(
-                f"ignoring use_bonsai={self.use_bonsai!r}/"
-                f"hardware={self.hardware!r}: execution={execution!r} was "
-                "given and wins; change the execution config instead "
-                "(e.g. execution.with_flavor(...)/with_hardware(...))",
-                DeprecationWarning, stacklevel=3)
-        self.execution = execution
-        # Mirror the resolved mode so legacy readers keep working.
-        self.use_bonsai = execution.use_bonsai
-        self.hardware = execution.hardware
 
 
 @dataclass
@@ -351,11 +309,8 @@ class PipelineRunner:
             resolved = resolved.with_hardware(hardware)
         if resolved is not config.execution:
             # Never mutate the caller's config: one config object must be
-            # reusable for a baseline-then-Bonsai comparison.  Clear the
-            # mirrored legacy booleans alongside the swapped execution so
-            # __post_init__ re-derives them (see its mismatch handling).
-            config = replace(config, execution=resolved,
-                             use_bonsai=None, hardware=None)
+            # reusable for a baseline-then-Bonsai comparison.
+            config = replace(config, execution=resolved)
         return cls(sequence, scenario=name, config=config)
 
     # ------------------------------------------------------------------

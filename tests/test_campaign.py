@@ -1,0 +1,193 @@
+"""Tests of the differential-testing campaign engine.
+
+Three layers: the randomized-world factory (determinism, JSON roundtrip,
+scenario restriction), a bounded-budget smoke campaign over every registered
+backend (must be clean and bitwise-deterministic), and the full
+divergence-hunting path — a deliberately broken backend registered for the
+test only must be caught, shrunk to a minimal case, and emitted as a
+runnable pytest reproducer that actually fails.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    WorldSpec,
+    random_world,
+    run_campaign,
+)
+from repro.engine import get_backend, register_backend
+from repro.engine.registry import _REGISTRY as _BACKEND_REGISTRY
+from repro.kdtree.radius_search import SearchStats
+from repro.runtime.batch import BatchRadiusResult
+from repro.scenarios import scenario_names
+
+
+class TestRandomWorld:
+    def test_same_seed_same_world(self):
+        assert random_world(7) == random_world(7)
+
+    def test_seeds_vary_the_world(self):
+        worlds = {random_world(seed) for seed in range(8)}
+        assert len(worlds) > 1
+
+    def test_json_roundtrip(self):
+        world = random_world(3)
+        payload = json.loads(json.dumps(world.as_dict()))
+        assert WorldSpec.from_dict(payload) == world
+
+    def test_scenario_restriction(self):
+        for seed in range(4):
+            assert random_world(seed, scenarios=["urban"]).scenario == "urban"
+
+    def test_scenarios_come_from_the_registry(self):
+        names = set(scenario_names())
+        assert all(random_world(seed).scenario in names for seed in range(12))
+
+    def test_pipeline_ops_can_be_disabled(self):
+        for seed in range(20):
+            world = random_world(seed, pipeline_ops=False)
+            assert all(op.kind != "pipeline" for op in world.ops)
+
+    def test_cloud_is_deterministic_and_nonempty(self):
+        world = random_world(11)
+        a, b = world.build_cloud(), world.build_cloud()
+        assert len(a) > 0
+        assert np.array_equal(a.points, b.points)
+
+    def test_op_queries_are_deterministic(self):
+        world = random_world(5, pipeline_ops=False)
+        cloud = world.build_cloud()
+        for op_index in range(len(world.ops)):
+            first = world.op_queries(op_index, cloud)
+            assert first.shape[1] == 3 and first.dtype == np.float64
+            assert np.array_equal(first, world.op_queries(op_index, cloud))
+
+
+class TestSmokeCampaign:
+    """Bounded-budget clean campaign: the tier-1 wiring of the engine."""
+
+    def test_smoke_campaign_is_clean_and_writes_manifest(self, tmp_path):
+        config = CampaignConfig(budget=2, seed=0, out_dir=tmp_path / "a")
+        result = run_campaign(config)
+        assert result.n_divergences == 0
+        manifest = json.loads(result.manifest_path.read_text())
+        assert manifest["n_divergences"] == 0
+        assert manifest["campaign"]["seed"] == 0
+        assert len(manifest["trials"]) == 2
+        assert manifest["campaign"]["reference"] == "baseline-batched"
+        # Every trial records its full world spec for replay.
+        for trial in manifest["trials"]:
+            world = WorldSpec.from_dict(trial["world"])
+            assert world.seed == trial["world"]["seed"]
+
+    def test_campaign_is_bitwise_deterministic(self, tmp_path):
+        config_a = CampaignConfig(budget=2, seed=4, out_dir=tmp_path / "a")
+        config_b = CampaignConfig(budget=2, seed=4, out_dir=tmp_path / "b")
+        manifest_a = run_campaign(config_a).manifest_path.read_bytes()
+        manifest_b = run_campaign(config_b).manifest_path.read_bytes()
+        assert manifest_a == manifest_b
+
+    def test_unknown_backend_rejected_with_listing(self):
+        config = CampaignConfig(backends=("warp-drive",))
+        with pytest.raises(KeyError, match="baseline-batched"):
+            config.resolved_backends()
+
+
+class _BrokenBatchedBackend:
+    """baseline-batched clone that silently drops the last radius hit."""
+
+    name = "broken-batched"
+
+    def __init__(self, tree, stats=None, **_):
+        self._inner = get_backend("baseline-batched", tree,
+                                  stats=stats if stats is not None
+                                  else SearchStats())
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def radius_search(self, queries, radius):
+        result = self._inner.radius_search(queries, radius)
+        n = result.point_indices.shape[0]
+        if n == 0:
+            return result
+        return BatchRadiusResult(offsets=np.minimum(result.offsets, n - 1),
+                                 point_indices=result.point_indices[:n - 1])
+
+    def knn(self, queries, k):
+        return self._inner.knn(queries, k)
+
+    def search(self, query, radius):
+        return self._inner.search(query, radius)
+
+
+@pytest.fixture()
+def broken_backend():
+    register_backend("broken-batched",
+                     lambda tree, **opts: _BrokenBatchedBackend(tree, **opts))
+    yield "broken-batched"
+    _BACKEND_REGISTRY.pop("broken-batched")
+
+
+class TestBrokenBackendCaught:
+    def test_campaign_catches_and_shrinks_the_divergence(self, tmp_path,
+                                                         broken_backend):
+        config = CampaignConfig(
+            budget=3, seed=0, backends=("baseline-batched", broken_backend),
+            out_dir=tmp_path, recorded=False, max_shrink_evals=200)
+        result = run_campaign(config)
+        assert result.n_divergences > 0
+        radius_hits = [d for d in result.divergences
+                       if d.kind == "radius-hits"]
+        assert radius_hits, "dropped radius hit must surface as radius-hits"
+
+        shrunk = [d for d in radius_hits if d.shrunk is not None]
+        assert shrunk, "at least one radius divergence must shrink"
+        smallest = min(shrunk, key=lambda d: d.shrunk["n_points"])
+        # ddmin must get a single dropped hit down to a handful of rows.
+        assert smallest.shrunk["n_points"] <= 8
+        assert smallest.shrunk["n_queries"] <= 8
+        assert smallest.shrunk["evals_used"] <= 200
+
+        # The manifest records the divergence and the reproducer exists.
+        manifest = json.loads(result.manifest_path.read_text())
+        assert manifest["n_divergences"] == result.n_divergences
+        reproducer = result.result_dir / smallest.reproducer
+        assert reproducer.exists()
+        report = result.result_dir / f"divergence-trial{smallest.trial}.json"
+        assert report.exists()
+
+    def test_generated_reproducer_actually_fails(self, tmp_path,
+                                                 broken_backend):
+        config = CampaignConfig(
+            budget=3, seed=0, backends=("baseline-batched", broken_backend),
+            out_dir=tmp_path, recorded=False)
+        result = run_campaign(config)
+        shrunk = [d for d in result.divergences
+                  if d.kind == "radius-hits" and d.reproducer is not None]
+        assert shrunk
+        source = (result.result_dir / shrunk[0].reproducer).read_text()
+        namespace: dict = {}
+        exec(compile(source, shrunk[0].reproducer, "exec"), namespace)
+        test_functions = [value for name, value in namespace.items()
+                          if name.startswith("test_") and callable(value)]
+        assert len(test_functions) == 1
+        with pytest.raises(AssertionError):
+            test_functions[0]()
+
+    def test_clean_pair_reports_nothing(self, tmp_path):
+        config = CampaignConfig(
+            budget=2, seed=1,
+            backends=("baseline-batched", "baseline-perquery"),
+            out_dir=tmp_path, recorded=False)
+        result = run_campaign(config)
+        assert result.n_divergences == 0
+        assert not list(result.result_dir.glob("divergence-*.json"))
+        assert not list(result.result_dir.glob("repro_*.py"))

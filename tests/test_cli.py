@@ -87,10 +87,38 @@ class TestParser:
         from repro.engine import backend_names
 
         subparsers = build_parser()._subparsers._group_actions[0].choices
-        for command in ("pipeline", "batch-sweep", "hw-sweep"):
+        for command in ("pipeline", "batch-sweep", "hw-sweep", "campaign"):
             text = subparsers[command].format_help()
             for name in backend_names():
                 assert name in text, (command, name)
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--budget", "5", "--seed", "3",
+             "--backend", "baseline-batched", "--backend", "bonsai-batched",
+             "--scenario", "urban", "--no-recorded", "--no-shrink",
+             "--max-shrink-evals", "50"])
+        assert args.budget == 5 and args.seed == 3
+        assert args.backends == ["baseline-batched", "bonsai-batched"]
+        assert args.scenarios == ["urban"]
+        assert args.no_recorded is True and args.no_shrink is True
+        assert args.max_shrink_evals == 50
+        defaults = build_parser().parse_args(["campaign"])
+        assert defaults.budget == 25 and defaults.seed == 0
+        assert defaults.backends is None and defaults.scenarios is None
+
+    def test_campaign_rejects_nonpositive_budget(self):
+        for budget in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["campaign", "--budget", budget])
+
+    def test_campaign_help_names_every_scenario(self):
+        from repro.scenarios import scenario_names
+
+        subparsers = build_parser()._subparsers._group_actions[0].choices
+        text = subparsers["campaign"].format_help()
+        for name in scenario_names():
+            assert name in text, name
 
     def test_hw_sweep_flags(self):
         args = build_parser().parse_args(
@@ -232,7 +260,7 @@ class TestCommands:
         assert "bonsai-perquery backend" in out
 
     def test_pipeline_unknown_scenario(self):
-        with pytest.raises(KeyError, match="unknown scenario"):
+        with pytest.raises(SystemExit, match="unknown scenario 'mars_colony'"):
             main(["pipeline", "--scenario", "mars_colony"])
 
     def test_pipeline_mp_backend_by_name(self, capsys):
@@ -260,3 +288,45 @@ class TestCommands:
         assert "Cache-geometry sensitivity" in out
         assert "l1-8k" in out
         assert "ran 4 hardware-in-the-loop runs" in out
+
+
+class TestErrorPaths:
+    """Unknown registry names must exit non-zero and list the valid choices."""
+
+    def test_unknown_backend_lists_registry_choices(self, capsys):
+        from repro.engine import backend_names
+
+        for command in ("pipeline", "batch-sweep", "hw-sweep", "campaign"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--backend", "warp-drive"])
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            for name in backend_names():
+                assert name in err, (command, name)
+
+    def test_unknown_scenario_lists_registry_choices(self):
+        from repro.scenarios import scenario_names
+
+        for argv in (["pipeline", "--scenario", "mars_colony"],
+                     ["hw-sweep", "--scenario", "mars_colony"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            message = str(excinfo.value.code)
+            assert "unknown scenario 'mars_colony'" in message
+            for name in scenario_names():
+                assert name in message, (argv[0], name)
+
+    def test_unknown_cache_geometry_lists_registry_choices(self, capsys):
+        from repro.analysis.cache_sweep import geometry_names
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["hw-sweep", "--cache-geometry", "l1-infinite"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in geometry_names():
+            assert name in err, name
+
+    def test_valid_names_do_not_trip_the_validation(self):
+        args = build_parser().parse_args(
+            ["hw-sweep", "--scenario", "urban", "--scenario", "tunnel"])
+        assert args.scenarios == ["urban", "tunnel"]

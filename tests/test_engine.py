@@ -4,8 +4,8 @@ The parity of results across backends lives in ``test_backend_parity.py``;
 this file covers the API surface itself — name registration and errors,
 ``ExecutionConfig`` resolution and validation, the ``PointCloudIndex``
 facade's bookkeeping, the per-scenario execution/pipeline overrides, and the
-backward-compat shims (deprecated entry points must warn *and* return
-identical results).
+removal of the pre-engine entry points (the deprecated spellings completed
+their cycle and must now fail loudly).
 """
 
 from __future__ import annotations
@@ -216,97 +216,67 @@ class TestScenarioExecutionOverrides:
 PRESET = dict(n_frames=2, seed=7, n_beams=10, n_azimuth_steps=80)
 
 
-class TestDeprecatedEntryPoints:
-    """The pre-engine spellings keep working, warn, and match exactly."""
+class TestRemovedEntryPoints:
+    """The pre-engine spellings completed their soak and are gone.
 
-    def test_runner_config_legacy_flags_warn_and_resolve(self):
-        with pytest.warns(DeprecationWarning, match="PipelineRunnerConfig"):
-            config = PipelineRunnerConfig(use_bonsai=True, hardware=True)
-        assert config.execution == ExecutionConfig(backend="bonsai-batched",
-                                                   hardware=True)
-        # Mirrored booleans keep legacy readers working.
-        assert config.use_bonsai is True and config.hardware is True
+    Gone means *loudly* gone — construction-time ``TypeError`` for the
+    legacy config booleans, ``AttributeError``/``ImportError`` for the
+    top-level shims — while the undeprecated ``repro.runtime`` spellings
+    keep working without any warning.
+    """
 
-    def test_runner_config_replace_roundtrip_does_not_rewarn(self):
+    def test_runner_config_legacy_flags_removed(self):
+        with pytest.raises(TypeError):
+            PipelineRunnerConfig(use_bonsai=True)
+        with pytest.raises(TypeError):
+            PipelineRunnerConfig(hardware=True)
+        # No mirrored booleans either: the execution config is the one spelling.
+        config = PipelineRunnerConfig()
+        assert not hasattr(config, "use_bonsai")
+        assert not hasattr(config, "hardware")
+        assert config.execution == ExecutionConfig()
+
+    def test_runner_config_replace_roundtrip_is_warning_free(self):
         config = PipelineRunnerConfig(
             execution=ExecutionConfig(backend="bonsai-batched"))
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             copy = replace(config, n_frames=3)
+            swapped = replace(config, execution=ExecutionConfig(
+                backend="baseline-perquery"))
         assert copy.execution == config.execution and copy.n_frames == 3
+        assert swapped.execution.backend == "baseline-perquery"
 
-    def test_runner_config_replace_can_swap_execution(self):
-        """replace() swapping execution wins over stale mirrors (clearing
-        them alongside is the silent spelling; bare swaps warn)."""
-        config = PipelineRunnerConfig()
-        new_execution = ExecutionConfig(backend="bonsai-batched", hardware=True)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            swapped = replace(config, execution=new_execution,
-                              use_bonsai=None, hardware=None)
-        assert swapped.execution.backend == "bonsai-batched"
-        assert swapped.use_bonsai is True and swapped.hardware is True
-        # A bare swap still resolves to the new execution, but announces the
-        # dropped stale mirrors.
-        with pytest.warns(DeprecationWarning, match="execution=.*wins"):
-            bare = replace(config, execution=new_execution)
-        assert bare.execution == new_execution and bare.use_bonsai is True
-        # The original is untouched.
-        assert config.use_bonsai is False and config.hardware is False
+    def test_top_level_shims_removed(self):
+        for name in ("batch_radius_search", "batch_knn", "BonsaiRadiusSearch"):
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
+            assert name not in repro.__all__
+            with pytest.raises(ImportError):
+                exec(f"from repro import {name}")
+        import importlib
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.engine.compat")
 
-    def test_explicit_execution_wins_over_legacy_booleans_with_warning(self):
-        """The old replace(config, use_bonsai=...) idiom must not be silent."""
-        with pytest.warns(DeprecationWarning, match="ignoring use_bonsai"):
-            config = PipelineRunnerConfig(
-                execution=ExecutionConfig(backend="baseline-batched"),
-                use_bonsai=True)
-        assert config.execution.backend == "baseline-batched"
-        assert config.use_bonsai is False  # re-mirrored from execution
-
-    def test_legacy_flags_produce_identical_pipeline_metrics(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = PipelineRunner.from_scenario(
-                "urban", config=PipelineRunnerConfig(use_bonsai=True), **PRESET)
-        modern = PipelineRunner.from_scenario(
-            "urban", config=PipelineRunnerConfig(
-                execution=ExecutionConfig(backend="bonsai-batched")), **PRESET)
-        assert legacy.run().metrics() == modern.run().metrics()
-
-    def test_top_level_batch_radius_search_warns_and_matches(self, small_case):
+    def test_runtime_spellings_still_work_without_warning(self, small_case):
+        """Removal targeted the top-level re-exports only: the batched
+        engines stay first-class ``repro.runtime`` API."""
         tree, queries = small_case
-        reference = get_backend("baseline-batched", tree).radius_search(queries, 0.5)
-        with pytest.warns(DeprecationWarning, match="batch_radius_search"):
-            result = repro.batch_radius_search(tree, queries, 0.5)
-        assert np.array_equal(result.offsets, reference.offsets)
-        assert np.array_equal(result.point_indices, reference.point_indices)
-        # The runtime module's own function is NOT deprecated.
+        reference = get_backend("baseline-batched", tree)
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            runtime_result = batch_radius_search(tree, queries, 0.5)
-        assert np.array_equal(runtime_result.point_indices, reference.point_indices)
+            warnings.simplefilter("error")
+            radius = batch_radius_search(tree, queries, 0.5)
+            knn = batch_knn(tree, queries, 4)
+        assert np.array_equal(radius.point_indices,
+                              reference.radius_search(queries, 0.5).point_indices)
+        assert np.array_equal(knn.indices, reference.knn(queries, 4).indices)
 
-    def test_top_level_batch_knn_warns_and_matches(self, small_case):
+    def test_core_bonsai_class_still_importable(self, small_case):
+        """The real class keeps living in repro.core; only the top-level
+        deprecation shim is gone."""
+        from repro.core.bonsai_search import BonsaiRadiusSearch
+
         tree, queries = small_case
-        reference = get_backend("baseline-batched", tree).knn(queries, 4)
-        with pytest.warns(DeprecationWarning, match="batch_knn"):
-            result = repro.batch_knn(tree, queries, 4)
-        assert np.array_equal(result.indices, reference.indices)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            runtime_result = batch_knn(tree, queries, 4)
-        assert np.array_equal(runtime_result.indices, reference.indices)
-
-    def test_top_level_bonsai_radius_search_warns_and_matches(self, small_case):
-        tree, queries = small_case
-        from repro.core.bonsai_search import BonsaiRadiusSearch as CoreClass
-
-        core = CoreClass(build_kdtree(tree.points))
-        expected = [sorted(core.search(q, 0.5)) for q in queries[:10]]
-        with pytest.warns(DeprecationWarning, match="BonsaiRadiusSearch"):
-            shim = repro.BonsaiRadiusSearch(build_kdtree(tree.points))
-        got = [sorted(shim.search(q, 0.5)) for q in queries[:10]]
-        assert got == expected
-        # The shim exposes the class surface consumers relied on.
-        assert shim.stats.queries == 10
-        assert shim.bonsai_stats.leaf_visits > 0
-        assert shim.report is not None and shim.report.compressed_bytes > 0
+        search = BonsaiRadiusSearch(build_kdtree(tree.points))
+        assert sorted(search.search(queries[0], 0.5)) == \
+            sorted(get_backend("baseline-batched", tree).search(queries[0], 0.5))

@@ -121,9 +121,9 @@ class TestHardwareRunnerFlag:
 
     def test_from_scenario_hardware_override(self):
         runner = PipelineRunner.from_scenario("urban", hardware=True, **PRESET)
-        assert runner.config.hardware is True
+        assert runner.config.execution.hardware is True
         # The default config object must not have been mutated.
-        assert PipelineRunnerConfig().hardware is False
+        assert PipelineRunnerConfig().execution.hardware is False
 
     def test_hardware_stage_structure(self):
         result = PipelineRunner.from_scenario("urban", hardware=True, **PRESET).run()

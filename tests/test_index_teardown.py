@@ -1,0 +1,120 @@
+"""Teardown/reuse tests of the backend cache and worker pools.
+
+``PointCloudIndex.close()`` and the ``-mp`` backends' ``close()`` must be
+idempotent, must never crash on double-close, and must leave the object
+fully usable afterwards — the next call rebuilds a fresh backend (index)
+or restarts a fresh pool (mp backend) and returns identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import PointCloudIndex, get_backend
+from repro.engine.parallel import MIN_PARALLEL_QUERIES
+from repro.kdtree import build_kdtree
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(23)
+    points = rng.uniform(-7.0, 7.0, (500, 3)).astype(np.float32)
+    queries = points[:MIN_PARALLEL_QUERIES + 12].astype(np.float64) \
+        + rng.normal(0.0, 0.25, (MIN_PARALLEL_QUERIES + 12, 3))
+    return build_kdtree(points), queries
+
+
+class TestPointCloudIndexClose:
+    def test_close_is_idempotent(self, case):
+        tree, queries = case
+        index = PointCloudIndex(tree)
+        index.radius_search(queries, 0.5)
+        index.close()
+        index.close()  # double close must be a no-op, not a crash
+        index.close()
+
+    def test_close_empties_the_backend_cache(self, case):
+        tree, queries = case
+        index = PointCloudIndex(tree)
+        before = index.backend("baseline-batched")
+        index.radius_search(queries, 0.5)
+        index.close()
+        after = index.backend("baseline-batched")
+        assert after is not before
+        # And the fresh backend is cached again.
+        assert index.backend("baseline-batched") is after
+
+    def test_index_usable_after_close_with_identical_results(self, case):
+        tree, queries = case
+        index = PointCloudIndex(tree)
+        first = index.radius_search(queries, 0.5)
+        index.close()
+        second = index.radius_search(queries, 0.5)
+        assert np.array_equal(first.offsets, second.offsets)
+        assert np.array_equal(first.point_indices, second.point_indices)
+
+    def test_close_tears_down_mp_pools(self, case):
+        tree, queries = case
+        index = PointCloudIndex(tree)
+        backend = index.backend("baseline-batched-mp")
+        backend.radius_search(queries, 0.5)
+        assert backend._pool is not None
+        index.close()
+        assert backend._pool is None
+        assert backend._pool_finalizer is None
+
+    def test_repeated_close_reuse_cycles(self, case):
+        tree, queries = case
+        index = PointCloudIndex(tree)
+        reference = index.radius_search(queries, 0.5)
+        for _ in range(3):
+            result = index.radius_search(
+                queries, 0.5, backend="baseline-batched-mp")
+            assert np.array_equal(result.point_indices,
+                                  reference.point_indices)
+            index.close()
+
+
+class TestMPBackendClose:
+    def test_double_close_without_pool_is_safe(self, case):
+        tree, _ = case
+        backend = get_backend("baseline-batched-mp", tree)
+        backend.close()  # never used: no pool yet
+        backend.close()
+
+    def test_close_restarts_a_fresh_pool_on_next_use(self, case):
+        tree, queries = case
+        backend = get_backend("baseline-batched-mp", tree)
+        first = backend.radius_search(queries, 0.5)
+        old_pool = backend._pool
+        assert old_pool is not None
+        backend.close()
+        assert backend._pool is None and backend._pool_finalizer is None
+        second = backend.radius_search(queries, 0.5)
+        assert backend._pool is not None
+        assert backend._pool is not old_pool
+        assert np.array_equal(first.offsets, second.offsets)
+        assert np.array_equal(first.point_indices, second.point_indices)
+        backend.close()
+
+    def test_small_batches_never_spawn_a_pool(self, case):
+        tree, queries = case
+        backend = get_backend("baseline-batched-mp", tree)
+        backend.radius_search(queries[:4], 0.5)
+        backend.knn(queries[:4], 3)
+        assert backend._pool is None
+        backend.close()
+
+    def test_stats_survive_close(self, case):
+        tree, queries = case
+        backend = get_backend("baseline-batched-mp", tree)
+        backend.radius_search(queries, 0.5)
+        queries_before = backend.stats.queries
+        assert queries_before == queries.shape[0]
+        backend.close()
+        # close() tears down the pool, not the accumulated counters.
+        assert backend.stats.queries == queries_before
+        backend.radius_search(queries, 0.5)
+        assert backend.stats.queries == 2 * queries_before
+        backend.close()

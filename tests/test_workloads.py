@@ -206,5 +206,5 @@ class TestPipelineRunner:
         runner = PipelineRunner.from_scenario(
             "urban", config=shared, use_bonsai=True,
             n_frames=1, n_beams=8, n_azimuth_steps=64)
-        assert runner.config.use_bonsai is True
-        assert shared.use_bonsai is False
+        assert runner.config.execution.use_bonsai is True
+        assert shared.execution.use_bonsai is False
