@@ -10,6 +10,12 @@ from .cache_sweep import (
 )
 from .compare import ComparisonSummary, MetricComparison, compare_measurements
 from .hw_sweep import HardwareScenarioRun, HardwareScenarioSweep, HardwareSweepResult
+from .map_scale import (
+    MAP_SCALE_GEOMETRY_NAMES,
+    MapScaleCell,
+    MapScaleResult,
+    MapScaleSweep,
+)
 from .metrics import (
     ClassificationErrorStats,
     FormatErrorInspector,
@@ -19,6 +25,7 @@ from .metrics import (
 from .reporting import (
     render_boxplot_figure,
     render_cache_sensitivity,
+    render_map_scale_sensitivity,
     render_fig2,
     render_fig9a,
     render_fig9b,
@@ -43,12 +50,17 @@ __all__ = [
     "HardwareScenarioRun",
     "HardwareScenarioSweep",
     "HardwareSweepResult",
+    "MAP_SCALE_GEOMETRY_NAMES",
+    "MapScaleCell",
+    "MapScaleResult",
+    "MapScaleSweep",
     "ClassificationErrorStats",
     "FormatErrorInspector",
     "classification_error",
     "table1_classification_errors",
     "render_boxplot_figure",
     "render_cache_sensitivity",
+    "render_map_scale_sensitivity",
     "render_fig2",
     "render_fig9a",
     "render_fig9b",

@@ -241,6 +241,45 @@ def render_cache_sensitivity(result) -> str:
     )
 
 
+def render_map_scale_sensitivity(result) -> str:
+    """Map-scale cache-geometry table: the L2 cut at 1M+ points.
+
+    Takes a :class:`~repro.analysis.map_scale.MapScaleResult` and renders
+    one row per geometry with both flavours' recorded traffic totals side
+    by side.  Unlike the frame-scale sensitivity table there are no
+    cycle/energy columns — the map-scale sweep records raw search traffic,
+    not a full pipeline — but it adds the per-level miss ratios, which is
+    where L2 capacity actually shows.
+    """
+    rows = []
+    for row in result.comparison_rows():
+        geometry = row["geometry"]
+        base, other, change = row["base"], row["other"], row["change"]
+        rows.append((
+            geometry.name,
+            geometry.label,
+            _pct(change["bytes_loaded"], signed=True),
+            f"{base['l2_to_l1_bytes']:,}",
+            f"{other['l2_to_l1_bytes']:,}",
+            _pct(change["l2_to_l1_bytes"], signed=True),
+            f"{base['dram_to_l2_bytes']:,}",
+            f"{other['dram_to_l2_bytes']:,}",
+            _pct(change["dram_to_l2_bytes"], signed=True),
+            f"{_pct(base['l2_miss_ratio'])}/{_pct(other['l2_miss_ratio'])}",
+        ))
+    return render_table(
+        ("Geometry", "L1/L2", "Demand chg", "L2->L1 B", "L2->L1 B (B)",
+         "Change", "DRAM->L2 B", "DRAM->L2 B (B)", "Change",
+         "L2 miss base/(B)"),
+        rows,
+        title=(f"Map-scale cache sensitivity - scenario {result.scenario}, "
+               f"{result.n_points:,} points, tile {result.tile_size:g} m "
+               f"({result.n_touched_tiles}/{result.n_tiles} tiles touched), "
+               f"{result.n_queries} radius-{result.radius:g} queries "
+               f"((B) = Bonsai-extensions)"),
+    )
+
+
 def render_table5(estimates: Mapping[str, object], table_v) -> str:
     """Table V: area and power of the K-D Bonsai additions."""
     compression = estimates["compression_unit"]

@@ -35,7 +35,11 @@ The CLI exposes the most common flows without writing Python:
     worker processes with a deterministic merge, and print the matrix.
     With ``--cache-geometry`` (repeatable) the matrix is re-run per named
     L1/L2 geometry variation and the cache-sensitivity table is printed
-    instead (see ``docs/PERFORMANCE.md`` for how to read it).
+    instead (see ``docs/PERFORMANCE.md`` for how to read it).  With
+    ``--tile-size`` the sweep switches to map scale: one sharded index
+    (:class:`~repro.engine.sharded.ShardedPointCloudIndex`) over a
+    1M+-point map cloud, probed in recorded mode across the L2-size cut,
+    printing the map-scale sensitivity table.
 ``python -m repro campaign``
     Run a differential-testing campaign (:mod:`repro.campaign`):
     ``--budget`` seed-derived randomized worlds, each fired at every
@@ -201,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-run the matrix under this named L1/L2 "
                                "geometry and print the sensitivity table "
                                "(repeatable; omit for the plain matrix)")
+    hw_sweep.add_argument("--tile-size", type=float, default=None,
+                          metavar="METRES",
+                          help="map-scale mode: shard a map-scale cloud into "
+                               "XY tiles of this size and print the map-scale "
+                               "cache-sensitivity table instead (uses the "
+                               "first --scenario; default: city_block)")
+    hw_sweep.add_argument("--map-points", type=_positive_int, default=1_000_000,
+                          help="map-scale mode: points in the sampled map "
+                               "cloud")
+    hw_sweep.add_argument("--map-queries", type=_positive_int, default=256,
+                          help="map-scale mode: radius queries in the "
+                               "recorded batch")
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -532,6 +548,26 @@ def _cmd_hw_sweep(args: argparse.Namespace) -> int:
 
     if args.scenarios is not None:
         _check_scenarios("hw-sweep", args.scenarios)
+    if args.tile_size is not None:
+        # Map-scale mode: one sharded index, the L2-size geometry cut,
+        # baseline vs Bonsai recorded traffic — not the scenario matrix.
+        from .analysis import MapScaleSweep, render_map_scale_sensitivity
+
+        if args.tile_size <= 0:
+            raise SystemExit(
+                f"repro hw-sweep: --tile-size must be positive, "
+                f"got {args.tile_size:g}")
+        scenario = args.scenarios[0] if args.scenarios else "city_block"
+        sweep = MapScaleSweep(
+            scenario, n_points=args.map_points, tile_size=args.tile_size,
+            n_queries=args.map_queries,
+            seed=args.seed if args.seed is not None else 7)
+        result = sweep.run()
+        print(render_map_scale_sensitivity(result))
+        print(f"\nran {len(result.geometries) * len(result.flavors)} recorded "
+              f"map-scale batches over {result.n_touched_tiles} of "
+              f"{result.n_tiles} tiles")
+        return 0
     if args.backends is not None and len(set(args.backends)) < 2:
         # The matrix and the sensitivity table both compare a backend pair;
         # a single --backend has nothing to compare against.

@@ -17,6 +17,10 @@ Public API
     The facade: builds the k-d tree once, compresses it lazily on first
     Bonsai use, serves radius/kNN queries through any named backend with
     uniform batched results and merged statistics.
+:class:`ShardedPointCloudIndex`
+    The map-scale facade: XY-grid tiles, one lazily built (and lazily
+    compressed) per-tile index each, cross-tile queries bitwise identical
+    to the unsharded index's (:mod:`repro.engine.sharded`).
 :func:`backend_names` / :func:`get_backend`
     The registry (the single source of valid backend names).
 :class:`ExecutionConfig`
@@ -52,6 +56,7 @@ from .execution import ExecutionConfig
 from .index import PointCloudIndex
 from .parallel import BaselineBatchedMPBackend, BonsaiBatchedMPBackend
 from .registry import backend_names, get_backend, register_backend
+from .sharded import ShardedPointCloudIndex
 
 __all__ = [
     "SearchBackend",
@@ -64,6 +69,7 @@ __all__ = [
     "recorded",
     "ExecutionConfig",
     "PointCloudIndex",
+    "ShardedPointCloudIndex",
     "backend_names",
     "get_backend",
     "register_backend",

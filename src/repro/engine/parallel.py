@@ -93,14 +93,29 @@ def resolve_workers(n_workers: Optional[int] = None) -> int:
     — at least two so the shard/merge machinery is exercised (and tested)
     even on single-core machines, at most four because the pure-Python
     workloads stop scaling long before the typical core count does.
+
+    ``REPRO_MP_WORKERS`` must hold a positive integer; anything else
+    (``"four"``, ``"0"``, ``"-2"``) raises a ``ValueError`` naming the
+    variable instead of an opaque parse error or a silent clamp.  Blank or
+    whitespace-only values count as unset and fall through to the default.
     """
     if n_workers is not None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         return n_workers
     env = os.environ.get("REPRO_MP_WORKERS")
-    if env:
-        return max(1, int(env))
+    if env is not None and env.strip():
+        text = env.strip()
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MP_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_MP_WORKERS must be a positive integer, got {env!r}")
+        return value
     return max(2, min(4, os.cpu_count() or 1))
 
 
@@ -126,7 +141,10 @@ def process_map(fn: Callable, items: Sequence, *, n_jobs: int,
     ``items`` order no matter in which order the workers complete — the
     property every deterministic merge in this package builds on.  Falls
     back to a serial loop when ``n_jobs < 2``, when there is at most one
-    item, or inside a daemon process (nested pools are not allowed).
+    item, or inside a daemon process (nested pools are not allowed); the
+    serial path runs ``initializer`` locally but restores the previous
+    worker-global state afterwards, so a serial run's tree/backend never
+    leaks into later calls in the same process.
 
     With ``pool`` the map runs on that existing (already initialised)
     worker pool instead of creating a one-shot pool — the caller owns the
@@ -137,9 +155,20 @@ def process_map(fn: Callable, items: Sequence, *, n_jobs: int,
         handles = [pool.apply_async(fn, (item,)) for item in items]
         return [handle.get() for handle in handles]
     if n_jobs < 2 or len(items) < 2 or _in_daemon_process():
-        if initializer is not None:
+        if initializer is None:
+            return [fn(item) for item in items]
+        # The serial fallback runs the initializer in *this* process, so
+        # whatever worker globals it sets (``_init_worker`` stores the
+        # tree/backend in ``_WORKER_STATE``) must not outlive the map:
+        # snapshot and restore them so two sequential serial maps with
+        # different trees cannot cross-contaminate.
+        global _WORKER_STATE
+        saved_state = _WORKER_STATE
+        try:
             initializer(*initargs)
-        return [fn(item) for item in items]
+            return [fn(item) for item in items]
+        finally:
+            _WORKER_STATE = saved_state
     ctx = _pool_context()
     with ctx.Pool(processes=min(n_jobs, len(items)), initializer=initializer,
                   initargs=initargs) as one_shot:

@@ -11,7 +11,10 @@ enumerate them uniformly::
 
 Importing the package registers the built-in worlds (urban, highway,
 parking_lot, tunnel, warehouse_indoor, sparse_rural and the degraded-sensor
-variants).
+variants) plus the map-scale family (city_block, multi_level_garage,
+highway_corridor), whose scenes also feed
+:func:`~repro.scenarios.map_scale.sample_map_cloud` — the vectorised
+1M+-point map-cloud sampler behind the sharded index benchmarks.
 """
 
 from .registry import (
@@ -25,14 +28,18 @@ from .registry import (
     scenario_names,
 )
 from . import worlds  # noqa: F401  — registers the built-in scenarios
+from . import map_scale  # noqa: F401  — registers the map-scale worlds
+from .map_scale import build_map_cloud, sample_map_cloud
 
 __all__ = [
     "ScenarioDefaults",
     "ScenarioSpec",
     "all_scenarios",
+    "build_map_cloud",
     "build_scene",
     "build_sequence",
     "get_scenario",
     "register_scenario",
+    "sample_map_cloud",
     "scenario_names",
 ]

@@ -1,0 +1,313 @@
+"""Map-scale scenario family: worlds big enough to stress L2 capacity.
+
+The original worlds are single-intersection scale — a LiDAR frame of tens of
+thousands of points whose tree fits comfortably inside a 1 MB L2, which
+leaves the ``l2-*`` cut of the cache-sensitivity sweep compulsory-miss
+dominated and flat.  The three worlds here describe *maps*, not frames: a
+multi-block city grid, a three-storey parking structure and a long highway
+corridor.  They register like any other scenario (the pipeline, golden
+harness and CLI pick them up by name), and :func:`sample_map_cloud` turns
+any scene into a 1M+-point static map cloud — sampled **vectorised** over
+obstacle surfaces, no per-point Python loop — for the
+:class:`~repro.engine.sharded.ShardedPointCloudIndex` and the map-scale
+cache-geometry sweep (:mod:`repro.analysis.map_scale`).
+
+Determinism: factories and the sampler are pure functions of their seed;
+one ``numpy`` generator drives every random draw in document order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..pointcloud.scene import Box, Obstacle, Scene
+from .registry import ScenarioDefaults, get_scenario, register_scenario
+
+__all__ = [
+    "make_city_block_scene",
+    "make_multi_level_garage_scene",
+    "make_highway_corridor_scene",
+    "sample_map_cloud",
+    "build_map_cloud",
+]
+
+
+# ----------------------------------------------------------------------
+# Vectorised map-cloud sampling
+# ----------------------------------------------------------------------
+def _box_face_areas(box: Box) -> np.ndarray:
+    """Areas of the box's four vertical faces and its top (sampling weights)."""
+    sx, sy, sz = box.size
+    return np.array([sy * sz, sy * sz, sx * sz, sx * sz, sx * sy],
+                    dtype=np.float64)
+
+
+def _sample_box_surface(rng: np.random.Generator, box: Box,
+                        n_points: int) -> np.ndarray:
+    """Vectorised counterpart of :meth:`Box.sample_surface` (same faces).
+
+    The per-point loop of the frame-scale sampler is fine for a LiDAR
+    return budget but prohibitive at map scale; this draws all ``n_points``
+    with whole-array operations.  (Draw-for-draw it is a different random
+    stream than the loop version — map clouds are a new artefact, not a
+    re-sampling of frames.)
+    """
+    cx, cy, cz = box.center
+    sx, sy, sz = box.size
+    areas = _box_face_areas(box)
+    total = areas.sum()
+    if total <= 0.0:
+        return np.tile(np.asarray(box.center, dtype=np.float64), (n_points, 1))
+    faces = rng.choice(5, size=n_points, p=areas / total)
+    u = rng.uniform(-0.5, 0.5, size=n_points)
+    v = rng.uniform(-0.5, 0.5, size=n_points)
+    points = np.empty((n_points, 3), dtype=np.float64)
+    for face, coords in enumerate((
+            lambda m: (cx - 0.5 * sx, cy + u[m] * sy, cz + v[m] * sz),
+            lambda m: (cx + 0.5 * sx, cy + u[m] * sy, cz + v[m] * sz),
+            lambda m: (cx + u[m] * sx, cy - 0.5 * sy, cz + v[m] * sz),
+            lambda m: (cx + u[m] * sx, cy + 0.5 * sy, cz + v[m] * sz),
+            lambda m: (cx + u[m] * sx, cy + v[m] * sy, cz + 0.5 * sz),
+    )):
+        mask = faces == face
+        if mask.any():
+            x, y, z = coords(mask)
+            points[mask, 0] = x
+            points[mask, 1] = y
+            points[mask, 2] = z
+    return points
+
+
+def sample_map_cloud(scene: Scene, n_points: int, seed: int = 0, *,
+                     ground_fraction: float = 0.35,
+                     t: float = 0.0) -> np.ndarray:
+    """Sample a static ``(n_points, 3)`` float32 map cloud from a scene.
+
+    Points are split between the ground plane (``ground_fraction`` of the
+    budget, uniform over the scene extent) and the obstacle surfaces (the
+    rest, proportional to surface area), so big worlds yield the spatially
+    extended, surface-concentrated distributions real map clouds have —
+    exactly what makes grid tiles meaningful.  Deterministic in ``seed``;
+    ``t`` places moving obstacles (default: their initial pose).
+    """
+    if n_points < 0:
+        raise ValueError("n_points must be non-negative")
+    rng = np.random.default_rng(seed)
+    boxes = scene.boxes_at(t)
+    areas = np.array([_box_face_areas(box).sum() for box in boxes],
+                     dtype=np.float64)
+    n_ground = int(round(n_points * ground_fraction)) if areas.sum() > 0 \
+        else n_points
+    n_surface = n_points - n_ground
+    parts: List[np.ndarray] = []
+    if n_surface > 0 and areas.sum() > 0:
+        counts = rng.multinomial(n_surface, areas / areas.sum())
+        for box, count in zip(boxes, counts):
+            if count:
+                parts.append(_sample_box_surface(rng, box, int(count)))
+    if n_ground > 0:
+        half = 0.5 * scene.extent
+        ground = np.empty((n_ground, 3), dtype=np.float64)
+        ground[:, 0] = rng.uniform(-half, half, size=n_ground)
+        ground[:, 1] = rng.uniform(-half, half, size=n_ground)
+        ground[:, 2] = scene.ground_z
+        parts.append(ground)
+    if not parts:
+        return np.empty((0, 3), dtype=np.float32)
+    return np.concatenate(parts).astype(np.float32)
+
+
+def build_map_cloud(scenario: str, n_points: int,
+                    seed: Optional[int] = None, **kwargs) -> np.ndarray:
+    """Sample the named scenario's map cloud (see :func:`sample_map_cloud`).
+
+    ``seed`` drives both the scene build and the sampling; it defaults to
+    the scenario's registered default seed.
+    """
+    spec = get_scenario(scenario)
+    seed = spec.defaults.seed if seed is None else seed
+    return sample_map_cloud(spec.scene(seed=seed), n_points, seed=seed,
+                            **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The worlds
+# ----------------------------------------------------------------------
+@register_scenario(
+    "city_block",
+    "Multi-block city grid: rows of building facades around a street grid, "
+    "parked cars along every kerb, poles at the corners — the canonical "
+    "map-scale relocalization world.",
+    defaults=ScenarioDefaults(ego_speed_mps=9.0),
+    tags=("outdoor", "map-scale"),
+)
+def make_city_block_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    obstacles: List[Obstacle] = []
+    block = 44.0          # building block pitch (centre to centre)
+    street = 14.0         # street width between blocks
+    n_x, n_y = 4, 3       # blocks along / across the ego street
+
+    for bx in range(n_x):
+        for by in range(n_y):
+            # Block corner layout centred so the ego street is y = 0.
+            x0 = (bx - 0.5 * (n_x - 1)) * (block + street)
+            y0 = (by - 0.5 * (n_y - 1)) * (block + street) + 0.5 * (block + street)
+            # Four facade strips around each block, varied heights.
+            for cx, cy, sx, sy in (
+                    (x0, y0 - 0.5 * block, block, 6.0),
+                    (x0, y0 + 0.5 * block, block, 6.0),
+                    (x0 - 0.5 * block, y0, 6.0, block - 12.0),
+                    (x0 + 0.5 * block, y0, 6.0, block - 12.0)):
+                height = float(rng.uniform(7.0, 18.0))
+                obstacles.append(Obstacle(Box(
+                    center=(cx, cy, 0.5 * height - 1.8),
+                    size=(sx, sy, height), label="building")))
+            # Corner poles (traffic lights / street lamps).
+            for dx, dy in ((-1, -1), (-1, 1), (1, -1), (1, 1)):
+                obstacles.append(Obstacle(Box(
+                    center=(x0 + dx * 0.5 * (block + 4.0),
+                            y0 + dy * 0.5 * (block + 4.0), 1.2),
+                    size=(0.3, 0.3, 6.0), label="pole")))
+
+    # Parked cars along the ego street and the first cross streets.
+    span = 0.5 * n_x * (block + street)
+    for _ in range(36):
+        side = float(rng.choice([-1.0, 1.0]))
+        x = float(rng.uniform(-span, span))
+        obstacles.append(Obstacle(Box(
+            center=(x, side * (0.5 * street - 1.4), -0.9),
+            size=(4.4, 1.8, 1.6), label="vehicle")))
+
+    # Kerbside clutter (bins, hydrants).
+    for _ in range(16):
+        x = float(rng.uniform(-span, span))
+        side = float(rng.choice([-1.0, 1.0]))
+        size = float(rng.uniform(0.4, 0.9))
+        obstacles.append(Obstacle(Box(
+            center=(x, side * (0.5 * street + 1.2), -1.8 + 0.5 * size),
+            size=(size, size, size), label="clutter")))
+
+    length = n_x * (block + street)
+    return Scene(obstacles, extent=float(n_y * (block + street) + 60.0),
+                 path_length=length)
+
+
+@register_scenario(
+    "multi_level_garage",
+    "Three-storey parking structure: floor slabs, pillar grids, perimeter "
+    "walls and dense parked rows on every level; ego creeping on the "
+    "ground floor.",
+    defaults=ScenarioDefaults(ego_speed_mps=2.5),
+    tags=("enclosed", "dense", "slow", "map-scale"),
+)
+def make_multi_level_garage_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    obstacles: List[Obstacle] = []
+    length, depth = 70.0, 34.0
+    level_height = 3.2
+    n_levels = 3
+
+    for level in range(n_levels):
+        z0 = -1.8 + level * level_height
+        # Ceiling slab of this level (= floor of the next).
+        obstacles.append(Obstacle(Box(
+            center=(0.0, 0.0, z0 + level_height - 0.15),
+            size=(length, depth, 0.3), label="building")))
+        # Pillar grid.
+        for x in np.linspace(-0.5 * length + 4.0, 0.5 * length - 4.0, 8):
+            for y in (-0.5 * depth + 3.0, -4.0, 4.0, 0.5 * depth - 3.0):
+                obstacles.append(Obstacle(Box(
+                    center=(float(x), float(y), z0 + 0.5 * level_height),
+                    size=(0.5, 0.5, level_height), label="pole")))
+        # Parked rows flanking the central aisle.
+        for row_y in (-0.5 * depth + 6.5, 0.5 * depth - 6.5):
+            for slot in range(14):
+                if rng.random() > 0.8:
+                    continue
+                x = -0.5 * length + 4.0 + slot * 4.6 \
+                    + float(rng.uniform(-0.3, 0.3))
+                obstacles.append(Obstacle(Box(
+                    center=(x, row_y + float(rng.uniform(-0.2, 0.2)),
+                            z0 + 0.8), size=(4.4, 1.8, 1.6),
+                    label="vehicle")))
+
+    # Perimeter walls (full height).
+    total_height = n_levels * level_height
+    for cx, cy, sx, sy in ((0.0, 0.5 * depth, length, 0.4),
+                           (0.0, -0.5 * depth, length, 0.4),
+                           (0.5 * length, 0.0, 0.4, depth),
+                           (-0.5 * length, 0.0, 0.4, depth)):
+        obstacles.append(Obstacle(Box(
+            center=(cx, cy, -1.8 + 0.5 * total_height),
+            size=(sx, sy, total_height), label="building")))
+
+    return Scene(obstacles, extent=110.0, path_length=length)
+
+
+@register_scenario(
+    "highway_corridor",
+    "Long highway corridor: 600 m of guardrails, noise barriers, gantries, "
+    "embankment clutter and sparse fast traffic — a thin, extremely "
+    "elongated map.",
+    defaults=ScenarioDefaults(ego_speed_mps=30.0),
+    tags=("outdoor", "fast", "sparse", "map-scale"),
+)
+def make_highway_corridor_scene(seed: int) -> Scene:
+    rng = np.random.default_rng(seed)
+    obstacles: List[Obstacle] = []
+    length = 600.0
+    half_road = 12.0
+    segment = 20.0
+
+    # Continuous guardrails along both shoulders.
+    for side in (-1.0, 1.0):
+        for i in range(int(length // segment)):
+            x = -0.5 * length + (i + 0.5) * segment
+            obstacles.append(Obstacle(Box(
+                center=(x, side * (half_road + 0.6), -1.4),
+                size=(segment, 0.3, 0.8), label="guardrail")))
+
+    # Noise-barrier stretches, alternating sides.
+    for i in range(int(length // 40.0)):
+        if rng.random() < 0.55:
+            x = -0.5 * length + (i + 0.5) * 40.0
+            side = float(rng.choice([-1.0, 1.0]))
+            obstacles.append(Obstacle(Box(
+                center=(x, side * (half_road + 4.5), 0.5),
+                size=(40.0, 0.5, 4.6), label="building")))
+
+    # Overhead gantries every ~120 m.
+    for x in np.linspace(-0.42 * length, 0.42 * length, 5):
+        obstacles.append(Obstacle(Box(
+            center=(float(x), 0.0, 4.4),
+            size=(0.5, 2.0 * half_road + 2.0, 0.9), label="building")))
+        for side in (-1.0, 1.0):
+            obstacles.append(Obstacle(Box(
+                center=(float(x), side * (half_road + 0.8), 1.3),
+                size=(0.4, 0.4, 6.4), label="pole")))
+
+    # Embankment clutter (reflector posts, emergency phones).
+    for _ in range(24):
+        x = float(rng.uniform(-0.48, 0.48) * length)
+        side = float(rng.choice([-1.0, 1.0]))
+        obstacles.append(Obstacle(Box(
+            center=(x, side * (half_road + 2.2), -1.2),
+            size=(0.3, 0.3, 1.2), label="clutter")))
+
+    # Sparse fast traffic.
+    lanes = (-8.5, -4.5, 4.5, 8.5)
+    for _ in range(12):
+        lane = float(rng.choice(lanes))
+        direction = 1.0 if lane > 0 else -1.0
+        x = float(rng.uniform(-0.45, 0.45) * length)
+        speed = direction * float(rng.uniform(22.0, 34.0))
+        truck = rng.random() < 0.25
+        obstacles.append(Obstacle(Box(
+            center=(x, lane, -0.3 if truck else -0.9),
+            size=(13.0, 2.5, 3.4) if truck else (4.6, 1.9, 1.7),
+            label="vehicle"), velocity=(speed, 0.0, 0.0)))
+
+    return Scene(obstacles, extent=640.0, path_length=length)

@@ -276,6 +276,27 @@ class TestUtilities:
         monkeypatch.delenv("REPRO_MP_WORKERS")
         assert resolve_workers() >= 2
 
+    @pytest.mark.parametrize("garbage", ["four", "0", "-2", "2.5", "1e1"])
+    def test_resolve_workers_rejects_garbage_env(self, monkeypatch, garbage):
+        """A broken REPRO_MP_WORKERS must fail loudly, naming the variable.
+
+        Regression: non-numeric values used to escape as raw ValueError
+        from ``int()`` and non-positive ones crashed the pool later with
+        an inscrutable multiprocessing error.
+        """
+        monkeypatch.setenv("REPRO_MP_WORKERS", garbage)
+        with pytest.raises(ValueError, match="REPRO_MP_WORKERS"):
+            resolve_workers()
+
+    def test_resolve_workers_blank_env_means_unset(self, monkeypatch):
+        """Whitespace-only values behave like the variable being absent."""
+        for blank in ("", "   ", "\t"):
+            monkeypatch.setenv("REPRO_MP_WORKERS", blank)
+            assert resolve_workers() >= 2
+        # An explicit n_workers still wins over a (valid) env value.
+        monkeypatch.setenv("REPRO_MP_WORKERS", "7")
+        assert resolve_workers(2) == 2
+
     def test_process_map_preserves_item_order(self):
         """Results come back in item order even when completion inverts it."""
         items = [(i, 6) for i in range(6)]
@@ -284,3 +305,65 @@ class TestUtilities:
     def test_process_map_serial_fallback(self):
         items = [(i, 2) for i in range(2)]
         assert process_map(_slow_echo, items, n_jobs=1) == [0, 1]
+
+    def test_serial_fallback_restores_worker_globals(self, case):
+        """Regression: the serial path ran initializers in-process and left
+        ``_WORKER_STATE`` behind, so a later serial map (or a live worker
+        global in this process) saw a stale tree."""
+        from repro.engine import parallel
+        from repro.engine.parallel import _init_worker, _radius_shard
+
+        tree, queries = case
+        before = parallel._WORKER_STATE
+        want = get_backend("baseline-batched", tree).radius_search(
+            queries[:4], RADIUS)
+        got = process_map(
+            _radius_shard, [(queries[:4], RADIUS)], n_jobs=1,
+            initializer=_init_worker, initargs=(tree, "baseline-batched", {}))
+        assert parallel._WORKER_STATE is before  # restored, not leaked
+        assert np.array_equal(got[0][1], want.point_indices)
+
+        # Two serial maps with different trees cannot contaminate each other.
+        other_tree = build_kdtree(
+            np.random.default_rng(3).uniform(-5, 5, (64, 3)).astype(np.float32))
+        small = get_backend("baseline-batched", other_tree).radius_search(
+            queries[:4], RADIUS)
+        got2 = process_map(
+            _radius_shard, [(queries[:4], RADIUS)], n_jobs=1,
+            initializer=_init_worker,
+            initargs=(other_tree, "baseline-batched", {}))
+        assert np.array_equal(got2[0][1], small.point_indices)
+        assert parallel._WORKER_STATE is before
+
+
+# ----------------------------------------------------------------------
+# Empty and degenerate batches through the parallel backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", MP_BACKENDS)
+class TestEmptyBatches:
+    """``plan_shards(0, k) == []`` must surface as well-formed empty results."""
+
+    def test_empty_radius_batch(self, case, name):
+        tree, _ = case
+        empty = np.empty((0, 3), dtype=np.float64)
+        result = get_backend(name, tree).radius_search(empty, RADIUS)
+        assert result.n_queries == 0
+        assert result.offsets.shape == (1,) and result.offsets[0] == 0
+        assert result.point_indices.shape == (0,)
+        assert result.counts.shape == (0,)
+
+    def test_empty_knn_batch(self, case, name):
+        tree, _ = case
+        empty = np.empty((0, 3), dtype=np.float64)
+        result = get_backend(name, tree).knn(empty, K)
+        assert result.indices.shape == (0, min(K, len(tree.points)))
+        assert result.distances.shape == result.indices.shape
+
+    def test_single_query_batch(self, case, name):
+        """One query (below any parallel threshold) matches the reference."""
+        tree, queries = case
+        got = get_backend(name, tree).radius_search(queries[:1], RADIUS)
+        want = get_backend("baseline-batched", tree).radius_search(
+            queries[:1], RADIUS)
+        assert np.array_equal(got.offsets, want.offsets)
+        assert np.array_equal(got.point_indices, want.point_indices)
