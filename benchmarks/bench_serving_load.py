@@ -1,0 +1,79 @@
+"""Serving-load benchmark: N clients, one resident shared-memory index.
+
+Extension benchmark (no single paper figure): the serve layer's end-to-end
+contract.  One process builds a :class:`~repro.serve.store.SharedCloudStore`
+— the k-d tree built and Bonsai-compressed **exactly once**, asserted via
+:func:`~repro.core.compressed_leaf.compression_pass_count` — and
+``REPRO_BENCH_SERVE_CLIENTS`` client processes attach to it by name,
+reconstruct a zero-copy :class:`~repro.engine.index.PointCloudIndex` and
+fire identical seeded mixed radius/kNN request streams.  The run aggregates
+fleet throughput and per-traffic-class p50/p95/p99 latency into
+``benchmarks/results/serving_load.txt`` (reading guide in
+``docs/PERFORMANCE.md``).
+
+Structural assertions: the parent compresses once, every client compresses
+zero times, every client's results checksum is identical (same shared bytes
+=> same answers), and no shared-memory segment outlives the run.
+
+Scale knobs: ``REPRO_BENCH_SERVE_CLIENTS`` (default 4),
+``REPRO_BENCH_SERVE_POINTS`` (default 15,000),
+``REPRO_BENCH_SERVE_REQUESTS`` (default 24 per client),
+``REPRO_BENCH_SERVE_QUERIES`` (default 96 per request).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.serve import render_serving_load, run_serving_load
+from repro.serve.loadgen import CLIENT_BACKENDS
+
+from paper_reference import write_result
+
+N_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "4"))
+N_POINTS = int(os.environ.get("REPRO_BENCH_SERVE_POINTS", "15000"))
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "24"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_SERVE_QUERIES", "96"))
+RADIUS = 0.6
+K = 5
+
+
+@pytest.fixture(scope="module")
+def load_result():
+    """One serving-load run shared by the module's assertions."""
+    return run_serving_load(n_clients=N_CLIENTS, n_points=N_POINTS,
+                            n_requests=N_REQUESTS, n_queries=N_QUERIES,
+                            radius=RADIUS, k=K)
+
+
+def test_serving_load_report(benchmark, load_result):
+    """Regenerate the serving-load table and check its structural claims."""
+    result = benchmark.pedantic(lambda: load_result, rounds=1, iterations=1)
+    write_result("serving_load", render_serving_load(result))
+
+    # The tentpole acceptance: >= 4 concurrent clients served by one
+    # resident store, the tree compressed exactly once fleet-wide.
+    assert result.n_clients == N_CLIENTS
+    assert result.parent_compression_passes == 1
+    assert result.client_compression_passes == [0] * N_CLIENTS
+    assert result.checksums_agree
+
+    # Both traffic classes of both flavours were actually exercised.
+    assert set(result.latencies) == {
+        f"{kind}:{backend}"
+        for kind, backend in zip(("radius", "knn"), CLIENT_BACKENDS)
+    }
+    assert result.total_requests == N_CLIENTS * N_REQUESTS
+    assert result.throughput_rps > 0
+
+    for key in result.latencies:
+        p50, p95, p99 = result.percentiles(key)
+        assert 0 < p50 <= p95 <= p99
+
+
+def test_serving_load_leaves_no_segments(load_result):
+    """Every shared-memory segment is unlinked once the run is over."""
+    assert glob.glob("/dev/shm/repro-store-*") == []

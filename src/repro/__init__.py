@@ -40,6 +40,11 @@ Subpackages
 ``repro.campaign``
     Differential-testing campaign engine: randomized worlds fired at every
     registered backend, pairwise diffing, divergence shrinking.
+``repro.serve``
+    Serving layer: the shared-memory :class:`~repro.serve.store.SharedCloudStore`
+    (compress once, attach everywhere), the pooled
+    :class:`~repro.serve.service.QueryService` and the streaming pipeline
+    runner with serial-identical metrics.
 
 Top-level exports
 -----------------
@@ -85,6 +90,9 @@ instead of spelling out the subpackage:
     The scenario library registry (:mod:`repro.scenarios`).
 ``run_campaign`` / ``CampaignConfig`` / ``random_world``
     The differential-testing campaign engine (:mod:`repro.campaign`).
+``SharedCloudStore`` / ``QueryService`` / ``StreamingPipelineRunner``
+    The serving layer (:mod:`repro.serve`): the shared-memory store, the
+    pooled query service over it, and the overlapped-stage pipeline runner.
 
 The pre-engine deprecated exports (``batch_radius_search``, ``batch_knn``,
 ``BonsaiRadiusSearch``) completed their deprecation cycle and were removed
@@ -113,6 +121,9 @@ _EXPORTS = {
     "random_world": "repro.campaign",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
+    "SharedCloudStore": "repro.serve",
+    "QueryService": "repro.serve",
+    "StreamingPipelineRunner": "repro.serve",
     "HardwareScenarioSweep": "repro.analysis",
     "CacheGeometrySweep": "repro.analysis",
     "build_sequence": "repro.scenarios",

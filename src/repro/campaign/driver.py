@@ -11,7 +11,10 @@ diffs, pairwise against the reference backend:
   model must be deterministic),
 * the per-trial aggregated ``SearchStats`` (flavor-invariant counters),
   ``BonsaiStats`` (among Bonsai backends) and the pipeline ops' functional
-  metric signatures.
+  metric signatures,
+* service ops: the same query batch routed through a shared-memory
+  :class:`~repro.serve.store.SharedCloudStore` attach (every backend over
+  the attached tree) against the process-local reference index.
 
 Any divergence becomes a :class:`~repro.campaign.diff.Divergence` record in
 the campaign's JSON manifest; radius/kNN/stats divergences are additionally
@@ -149,6 +152,40 @@ def _result_divergence_check(kind: str, op: QueryOp, left: str,
     return diverges
 
 
+def _service_divergence_check(kind: str, op: QueryOp, left: str,
+                              right: str) -> Callable[[np.ndarray, np.ndarray], bool]:
+    """Shrinker predicate for ``service-*`` kinds.
+
+    ``left`` is ``"service:<backend>"``: the query runs through a fresh
+    shared-store attach on that backend and is diffed against ``right`` on a
+    fresh process-local index.
+    """
+    backend = left.split(":", 1)[1]
+
+    def diverges(points: np.ndarray, queries: np.ndarray) -> bool:
+        if points.shape[0] == 0 or queries.shape[0] == 0:
+            return False
+        from ..serve import SharedCloudStore
+
+        with PointCloudIndex(build_kdtree(points)) as local, \
+                SharedCloudStore.create(points) as store, \
+                SharedCloudStore.attach(store.name) as client:
+            with client.index() as served:
+                if kind == "service-hits":
+                    detail = diff_radius(
+                        served.radius_search(queries, op.radius,
+                                             backend=backend),
+                        local.radius_search(queries, op.radius,
+                                            backend=right))
+                else:
+                    detail = diff_knn(
+                        served.knn(queries, op.k, backend=backend),
+                        local.knn(queries, op.k, backend=right))
+        return detail is not None
+
+    return diverges
+
+
 def _run_pipeline_op(world: WorldSpec, op: QueryOp, backend: str) -> dict:
     """One short end-to-end run of the world's scenario through ``backend``."""
     from ..engine import ExecutionConfig
@@ -232,6 +269,41 @@ def _run_trial(
                     trial=trial, kind="knn", left=name, right=reference,
                     op_index=op_index, op=op.describe(), detail=detail))
 
+    # --- Service ops: shared-store attach vs the local reference --------
+    # One shared store per op (created from the same cloud), attached the
+    # way a client process would; every backend then answers the op's batch
+    # over the attached tree and must match the local reference bitwise.
+    service_ops = [(i, op) for i, op in enumerate(world.ops)
+                   if op.kind == "service"]
+    for op_index, op in service_ops:
+        from ..serve import SharedCloudStore
+
+        queries = world.op_queries(op_index, cloud)
+        query_arrays[op_index] = queries
+        ref_radius = index.radius_search(queries, op.radius, backend=reference)
+        ref_knn = index.knn(queries, op.k, backend=reference)
+        with SharedCloudStore.create(cloud.points) as store, \
+                SharedCloudStore.attach(store.name) as client:
+            with client.index() as served:
+                for name in backends:
+                    detail = diff_radius(
+                        served.radius_search(queries, op.radius,
+                                             backend=name), ref_radius)
+                    if detail is not None:
+                        divergences.append(Divergence(
+                            trial=trial, kind="service-hits",
+                            left=f"service:{name}", right=reference,
+                            op_index=op_index, op=op.describe(),
+                            detail=detail))
+                    detail = diff_knn(
+                        served.knn(queries, op.k, backend=name), ref_knn)
+                    if detail is not None:
+                        divergences.append(Divergence(
+                            trial=trial, kind="service-knn",
+                            left=f"service:{name}", right=reference,
+                            op_index=op_index, op=op.describe(),
+                            detail=detail))
+
     # --- Recorded hardware wrappers, per flavor -------------------------
     if config.recorded and search_ops:
         flavors = sorted({name.split("-", 1)[0] for name in backends
@@ -282,7 +354,8 @@ def _run_trial(
     reproducers: Dict[str, str] = {}
     if config.shrink:
         for divergence in divergences:
-            if divergence.kind not in ("radius-hits", "knn", "search-stats"):
+            if divergence.kind not in ("radius-hits", "knn", "search-stats",
+                                       "service-hits", "service-knn"):
                 continue
             op_index = divergence.op_index
             if op_index < 0 and radius_ops:
@@ -292,8 +365,12 @@ def _run_trial(
             if op_index < 0:
                 continue
             op = world.ops[op_index]
-            check = _result_divergence_check(
-                divergence.kind, op, divergence.left, divergence.right)
+            if divergence.kind.startswith("service"):
+                check = _service_divergence_check(
+                    divergence.kind, op, divergence.left, divergence.right)
+            else:
+                check = _result_divergence_check(
+                    divergence.kind, op, divergence.left, divergence.right)
             case = shrink_divergence(
                 world, op_index, cloud.points, query_arrays[op_index],
                 check, max_evals=config.max_shrink_evals)

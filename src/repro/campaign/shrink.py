@@ -181,6 +181,29 @@ def _array_literal(array: np.ndarray, dtype: str) -> str:
 
 def _assertion_block(kind: str, op: QueryOp) -> str:
     """The pytest assertion body for a divergence ``kind``."""
+    if kind in ("service-hits", "service-knn"):
+        # LEFT is "service:<backend>": replay the query through a fresh
+        # shared-store attach on that backend vs RIGHT on the local tree.
+        if kind == "service-hits":
+            call = f"radius_search(QUERIES, {op.radius!r})"
+            checks = (
+                "    assert np.array_equal(left.offsets, right.offsets)\n"
+                "    assert np.array_equal(left.point_indices, "
+                "right.point_indices)")
+        else:
+            call = f"knn(QUERIES, {op.k})"
+            checks = (
+                "    assert np.array_equal(left.indices, right.indices)\n"
+                "    assert np.array_equal(left.distances, right.distances, "
+                "equal_nan=True)")
+        return f"""\
+    backend = LEFT.split(":", 1)[1]
+    with SharedCloudStore.create(POINTS) as store, \\
+            SharedCloudStore.attach(store.name) as client:
+        with client.index() as served:
+            left = served.backend(backend).{call}
+    right = get_backend(RIGHT, tree).{call}
+{checks}"""
     if op.kind == "radius":
         call = f"radius_search(QUERIES, {op.radius!r})"
     else:
@@ -220,6 +243,8 @@ def emit_regression(case: ShrunkCase, *, kind: str, left: str, right: str,
     needs_stats = kind == "search-stats"
     stats_import = ("\nfrom repro.kdtree import SearchStats, build_kdtree"
                     if needs_stats else "\nfrom repro.kdtree import build_kdtree")
+    if kind.startswith("service"):
+        stats_import += "\nfrom repro.serve import SharedCloudStore"
     return f'''"""Auto-generated by `repro campaign` — minimal divergence reproducer.
 
 campaign trial {trial}: {left!r} vs {right!r} diverged on {kind!r}

@@ -29,7 +29,7 @@ from ..scenarios import get_scenario, scenario_names
 __all__ = ["QueryOp", "WorldSpec", "random_world"]
 
 #: Query-operation kinds a world may carry.
-OP_KINDS = ("radius", "knn", "pipeline")
+OP_KINDS = ("radius", "knn", "pipeline", "service")
 
 
 @dataclass(frozen=True)
@@ -37,9 +37,12 @@ class QueryOp:
     """One query operation fired at every backend of a campaign trial.
 
     ``kind`` selects which fields are meaningful: ``"radius"`` uses
-    ``n_queries``/``radius``, ``"knn"`` uses ``n_queries``/``k`` and
+    ``n_queries``/``radius``, ``"knn"`` uses ``n_queries``/``k``,
     ``"pipeline"`` uses ``n_frames`` (a short end-to-end run of the world's
-    scenario).
+    scenario) and ``"service"`` uses ``n_queries``/``radius``/``k`` (the
+    same query batch routed through a shared-memory
+    :class:`~repro.serve.store.SharedCloudStore` attach, diffed against the
+    process-local reference index).
     """
 
     kind: str
@@ -58,6 +61,9 @@ class QueryOp:
             return f"radius(n={self.n_queries}, r={self.radius:.3f})"
         if self.kind == "knn":
             return f"knn(n={self.n_queries}, k={self.k})"
+        if self.kind == "service":
+            return (f"service(n={self.n_queries}, r={self.radius:.3f}, "
+                    f"k={self.k})")
         return f"pipeline(frames={self.n_frames})"
 
 
@@ -153,7 +159,9 @@ def random_world(seed: int,
     (0–20 %) and one to three query operations.  Pipeline ops (short
     end-to-end runs) are rare and tiny because they cost a full pipeline run
     per backend; ``pipeline_ops=False`` disables them entirely (the
-    shrinker's re-sampling path does).
+    shrinker's re-sampling path does).  Service ops (shared-store attach
+    routing) are capped at one per world because each rebuilds a
+    shared-memory store.
     """
     rng = np.random.default_rng(seed)
     names = sorted(scenarios) if scenarios is not None else scenario_names()
@@ -170,6 +178,15 @@ def random_world(seed: int,
         if pipeline_ops and roll < 0.15 and not any(
                 op.kind == "pipeline" for op in ops):
             ops.append(QueryOp(kind="pipeline", n_frames=2))
+        elif roll < 0.30 and not any(op.kind == "service" for op in ops):
+            # At most one service op per world: it rebuilds a shared store
+            # (one compression pass + shared-memory segments) per trial.
+            ops.append(QueryOp(
+                kind="service",
+                n_queries=int(rng.integers(8, 96)),
+                radius=float(rng.uniform(0.3, 1.2)),
+                k=int(rng.integers(1, 7)),
+            ))
         elif roll < 0.575:
             ops.append(QueryOp(
                 kind="radius",

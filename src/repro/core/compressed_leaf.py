@@ -25,7 +25,25 @@ from .leaf_compression import (
     compress_leaf,
 )
 
-__all__ = ["CompressedRef", "CompressedStructArray", "compress_tree", "CompressionReport"]
+__all__ = [
+    "CompressedRef",
+    "CompressedStructArray",
+    "compress_tree",
+    "compression_pass_count",
+    "CompressionReport",
+]
+
+#: Number of whole-tree compression passes this process has run.  The
+#: serving layer's "compress once, attach everywhere" claim is asserted
+#: against this counter: the process that creates a
+#: :class:`~repro.serve.store.SharedCloudStore` counts exactly one pass,
+#: and every attaching client counts zero.
+_COMPRESSION_PASSES = 0
+
+
+def compression_pass_count() -> int:
+    """How many times :func:`compress_tree` ran in this process."""
+    return _COMPRESSION_PASSES
 
 
 @dataclass(frozen=True)
@@ -140,6 +158,8 @@ def compress_tree(tree: KDTree, fmt: FloatFormat = FLOAT16,
     :class:`CompressionReport`; the array itself can be retrieved from any
     leaf's reference or passed in explicitly.
     """
+    global _COMPRESSION_PASSES
+    _COMPRESSION_PASSES += 1
     array = array if array is not None else CompressedStructArray(fmt)
     coords_shared = {"x": 0, "y": 0, "z": 0}
     fully_shared = 0

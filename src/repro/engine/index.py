@@ -143,13 +143,32 @@ class PointCloudIndex:
         backends (and a fresh pool) while the tree and its compression are
         kept.  Merged statistics reset alongside the cache: they live on
         the backend instances.  Calling :meth:`close` twice, or before any
-        backend was ever requested, is a no-op.
+        backend was ever requested, is a no-op — and so is a call racing
+        interpreter shutdown (finalizer ordering may have torn pieces of a
+        backend down already; those errors are swallowed, but only then).
         """
-        for backend in self._backends.values():
+        import sys
+
+        backends, self._backends = self._backends, {}
+        for backend in backends.values():
             close = getattr(backend, "close", None)
-            if close is not None:
+            if close is None:
+                continue
+            try:
                 close()
-        self._backends.clear()
+            except Exception:
+                # During interpreter shutdown, pool/module internals a
+                # backend's close() relies on may already be finalized
+                # (weakref.finalize ordering is unspecified across
+                # objects).  Anywhere else, the failure is real.
+                if not sys.is_finalizing():
+                    raise
+
+    def __enter__(self) -> "PointCloudIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Queries

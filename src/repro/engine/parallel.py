@@ -250,6 +250,26 @@ def _init_worker(tree: KDTree, inner_name: str, opts: dict) -> None:
     _WORKER_STATE = (tree, inner_name, opts)
 
 
+#: Keeps the worker's borrowed store handle (and thus its shared-memory
+#: mappings) alive for the worker's lifetime.
+_WORKER_STORE = None
+
+
+def _init_worker_shared(store_name: str, inner_name: str, opts: dict) -> None:
+    """Pool initializer for shared-store trees: attach by name, no pickle.
+
+    The attach is *borrowed* (non-refcounted): ``Pool.terminate()`` kills
+    workers without teardown, so a refcounted attach would leak references
+    and keep the store alive forever.  The worker's lifetime is bounded by
+    the backend holding a refcounted handle through ``tree._shared_store``.
+    """
+    global _WORKER_STATE, _WORKER_STORE
+    from ..serve.store import SharedCloudStore
+
+    _WORKER_STORE = SharedCloudStore.attach(store_name, refcounted=False)
+    _WORKER_STATE = (_WORKER_STORE.tree(), inner_name, opts)
+
+
 def _fresh_worker_backend():
     from .registry import get_backend
 
@@ -334,9 +354,18 @@ class _ShardedBatchedBackend:
             import weakref
 
             ctx = _pool_context()
-            self._pool = ctx.Pool(
-                processes=self.n_workers, initializer=_init_worker,
-                initargs=(self.tree, self.inner_name, self._opts))
+            store_name = getattr(self.tree, "shared_store_name", None)
+            if store_name is not None:
+                # Shared-store trees: workers attach by name, zero-copy.
+                # Mandatory, not just faster — the shared tree's compressed
+                # array wraps a shared-memory buffer and cannot pickle.
+                initializer, initargs = _init_worker_shared, (
+                    store_name, self.inner_name, self._opts)
+            else:
+                initializer, initargs = _init_worker, (
+                    self.tree, self.inner_name, self._opts)
+            self._pool = ctx.Pool(processes=self.n_workers,
+                                  initializer=initializer, initargs=initargs)
             self._pool_finalizer = weakref.finalize(
                 self, _terminate_pool, self._pool)
         return self._pool

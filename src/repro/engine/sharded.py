@@ -252,11 +252,18 @@ class ShardedPointCloudIndex:
 
         Idempotent; tile trees and compression stay cached, so later
         queries only rebuild backends, exactly like
-        :meth:`PointCloudIndex.close`.
+        :meth:`PointCloudIndex.close` — and shutdown-safe the same way
+        (tile closes racing interpreter finalization are swallowed).
         """
         for index in self._tile_indexes:
             if index is not None:
                 index.close()
+
+    def __enter__(self) -> "ShardedPointCloudIndex":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Tile selection

@@ -1,0 +1,36 @@
+"""The serve layer: one resident compressed index, many consumers.
+
+Three pieces, layered bottom-up:
+
+* :class:`SharedCloudStore` (:mod:`repro.serve.store`) — the map's heavy,
+  immutable arrays (points, leaf index lists, Bonsai compressed bytes) in
+  refcounted POSIX shared memory; built and compressed exactly once,
+  attached zero-copy by name.
+* :class:`QueryService` (:mod:`repro.serve.service`) — a persistent worker
+  pool attached to one store, serving mixed radius/kNN/pipeline traffic
+  against any registered backend.
+* :class:`StreamingPipelineRunner` (:mod:`repro.serve.streaming`) — the
+  end-to-end pipeline with frame generation and clustering overlapped
+  across workers behind a bounded stage queue, folding results in frame
+  order so ``metrics()`` stays bitwise identical to the serial runner.
+
+:mod:`repro.serve.loadgen` drives the whole stack: N client processes
+firing mixed traffic at one resident store, reported as throughput and
+latency percentiles (``repro serve-bench`` /
+``benchmarks/bench_serving_load.py``).
+"""
+
+from .loadgen import ServingLoadResult, render_serving_load, run_serving_load
+from .service import QueryService
+from .store import SharedCloudStore, SharedStructArray
+from .streaming import StreamingPipelineRunner
+
+__all__ = [
+    "QueryService",
+    "ServingLoadResult",
+    "SharedCloudStore",
+    "SharedStructArray",
+    "StreamingPipelineRunner",
+    "render_serving_load",
+    "run_serving_load",
+]

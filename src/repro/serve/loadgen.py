@@ -1,0 +1,234 @@
+"""Serving-load generator: N client processes, one resident shared index.
+
+The load generator is the end-to-end proof of the serve layer's claim: one
+process builds and compresses the map **once**
+(:func:`~repro.core.compressed_leaf.compression_pass_count` == 1), publishes
+it as a :class:`~repro.serve.store.SharedCloudStore`, and ``n_clients``
+independent processes attach by name, build a
+:class:`~repro.engine.index.PointCloudIndex` over the shared tree and fire
+identical seeded mixed radius/kNN request streams at it — each client
+asserting that *its* process ran **zero** compression passes.
+
+Every client returns per-request wall-clock latencies plus a results
+checksum; the parent aggregates throughput and p50/p95/p99 latency per
+backend and cross-checks that all clients' checksums agree (same shared
+bytes => same answers).  ``benchmarks/bench_serving_load.py`` renders the
+result into ``benchmarks/results/serving_load.txt``; the ``repro
+serve-bench`` CLI command drives the same entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..engine.parallel import _pool_context
+from .store import SharedCloudStore
+
+__all__ = ["ServingLoadResult", "run_serving_load", "render_serving_load"]
+
+#: Backends each client's request stream cycles through.
+CLIENT_BACKENDS = ("baseline-batched", "bonsai-batched")
+
+
+def _client_requests(rng: np.random.Generator, points: np.ndarray, n_requests: int,
+                     n_queries: int, radius: float, k: int) -> List[tuple]:
+    """The seeded mixed request stream one client fires (pure function)."""
+    requests = []
+    for i in range(n_requests):
+        base = points[rng.integers(0, len(points), n_queries)]
+        queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
+        backend = CLIENT_BACKENDS[i % len(CLIENT_BACKENDS)]
+        if i % 2 == 0:
+            requests.append(("radius", queries, radius, backend))
+        else:
+            requests.append(("knn", queries, k, backend))
+    return requests
+
+
+def _run_client(store_name: str, client_id: int, seed: int, n_requests: int,
+                n_queries: int, radius: float, k: int, out_queue) -> None:
+    """One client process: attach, serve its stream, report stats."""
+    from ..core.compressed_leaf import compression_pass_count
+
+    # Fork-started clients inherit the parent's counter value, so the
+    # client's own passes are the delta from here on.
+    passes_at_start = compression_pass_count()
+    try:
+        with SharedCloudStore.attach(store_name) as store:
+            index = store.index()
+            points = np.asarray(store.tree().points)
+            rng = np.random.default_rng(seed)
+            requests = _client_requests(rng, points, n_requests, n_queries,
+                                        radius, k)
+            latencies: Dict[str, List[float]] = {}
+            checksum = 0
+            for request in requests:
+                kind = request[0]
+                start = time.perf_counter()
+                if kind == "radius":
+                    _, queries, r, backend = request
+                    result = index.radius_search(queries, r, backend=backend)
+                    checksum += int(result.point_indices.sum())
+                    checksum += int(result.offsets[-1])
+                else:
+                    _, queries, kk, backend = request
+                    result = index.knn(queries, kk, backend=backend)
+                    checksum += int(result.indices.sum())
+                elapsed = time.perf_counter() - start
+                latencies.setdefault(f"{kind}:{backend}", []).append(elapsed)
+            index.close()
+        out_queue.put({
+            "client": client_id,
+            "latencies": latencies,
+            "checksum": checksum,
+            "compression_passes": compression_pass_count() - passes_at_start,
+            "error": None,
+        })
+    except BaseException as exc:  # report, never hang the parent
+        out_queue.put({"client": client_id, "latencies": {}, "checksum": 0,
+                       "compression_passes": -1, "error": repr(exc)})
+
+
+@dataclass
+class ServingLoadResult:
+    """Aggregated statistics of one serving-load run."""
+
+    n_clients: int
+    n_points: int
+    n_requests_per_client: int
+    n_queries: int
+    radius: float
+    k: int
+    wall_seconds: float
+    parent_compression_passes: int
+    client_compression_passes: List[int]
+    checksums: List[int]
+    #: ``{"radius:baseline-batched": [seconds, ...], ...}`` pooled over clients.
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(v) for v in self.latencies.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per wall-clock second, fleet-wide."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
+    def percentiles(self, key: str) -> Tuple[float, float, float]:
+        """(p50, p95, p99) latency in seconds for one traffic class."""
+        values = np.asarray(self.latencies[key], dtype=np.float64)
+        p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
+        return float(p50), float(p95), float(p99)
+
+    @property
+    def checksums_agree(self) -> bool:
+        return len(set(self.checksums)) <= 1
+
+
+def run_serving_load(*, n_clients: int = 4, n_points: int = 15_000,
+                     n_requests: int = 24, n_queries: int = 96,
+                     radius: float = 0.6, k: int = 5,
+                     seed: int = 7,
+                     timeout: float = 600.0) -> ServingLoadResult:
+    """Run the serving-load experiment and return aggregated statistics.
+
+    Creates one shared store (exactly one compression pass, asserted),
+    spawns ``n_clients`` attaching client processes firing identical seeded
+    mixed streams, and pools their latencies.  Raises if any client errors,
+    runs a local compression pass, or disagrees on the results checksum.
+    """
+    from ..core.compressed_leaf import compression_pass_count
+
+    passes_before = compression_pass_count()
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-40.0, 40.0, (n_points, 3)).astype(np.float32)
+
+    ctx = _pool_context()
+    with SharedCloudStore.create(points) as store:
+        parent_passes = compression_pass_count() - passes_before
+        out_queue = ctx.Queue()
+        clients = [
+            ctx.Process(
+                target=_run_client,
+                # Every client fires the SAME seeded stream: identical
+                # requests against identical shared bytes must produce
+                # identical checksums — that is the cross-client assertion.
+                args=(store.name, client_id, seed + 1, n_requests,
+                      n_queries, radius, k, out_queue),
+                daemon=False,
+            )
+            for client_id in range(n_clients)
+        ]
+        wall_start = time.perf_counter()
+        for proc in clients:
+            proc.start()
+        reports = [out_queue.get(timeout=timeout) for _ in clients]
+        for proc in clients:
+            proc.join(timeout=timeout)
+        wall_seconds = time.perf_counter() - wall_start
+
+    errors = [r["error"] for r in reports if r["error"] is not None]
+    if errors:
+        raise RuntimeError(f"serving clients failed: {errors}")
+
+    latencies: Dict[str, List[float]] = {}
+    for report in reports:
+        for key, values in report["latencies"].items():
+            latencies.setdefault(key, []).extend(values)
+
+    result = ServingLoadResult(
+        n_clients=n_clients,
+        n_points=n_points,
+        n_requests_per_client=n_requests,
+        n_queries=n_queries,
+        radius=radius,
+        k=k,
+        wall_seconds=wall_seconds,
+        parent_compression_passes=parent_passes,
+        client_compression_passes=[r["compression_passes"] for r in reports],
+        checksums=[r["checksum"] for r in reports],
+        latencies=latencies,
+    )
+    if result.parent_compression_passes != 1:
+        raise RuntimeError(
+            f"expected exactly one compression pass in the parent, counted "
+            f"{result.parent_compression_passes}")
+    if any(p != 0 for p in result.client_compression_passes):
+        raise RuntimeError(
+            f"attaching clients must not compress: "
+            f"{result.client_compression_passes}")
+    if not result.checksums_agree:
+        raise RuntimeError(f"client checksums diverged: {result.checksums}")
+    return result
+
+
+def render_serving_load(result: ServingLoadResult) -> str:
+    """Render the serving-load table (``benchmarks/results/serving_load.txt``)."""
+    lines = [
+        (f"Serving load - {result.n_clients} client processes x "
+         f"{result.n_requests_per_client} requests "
+         f"({result.n_queries} queries each) against one shared "
+         f"{result.n_points:,}-point store"),
+        (f"Compression passes: parent={result.parent_compression_passes}, "
+         f"clients={result.client_compression_passes} "
+         f"(one resident compressed tree, zero client rebuilds)"),
+        (f"Fleet throughput: {result.throughput_rps:,.1f} requests/s over "
+         f"{result.wall_seconds:.2f} s wall; checksums "
+         f"{'agree' if result.checksums_agree else 'DIVERGED'}"),
+        "",
+        "Traffic class                | p50 ms  | p95 ms  | p99 ms  | requests",
+        "-----------------------------+---------+---------+---------+---------",
+    ]
+    for key in sorted(result.latencies):
+        p50, p95, p99 = result.percentiles(key)
+        lines.append(
+            f"{key:<29}| {p50 * 1e3:>7.2f} | {p95 * 1e3:>7.2f} "
+            f"| {p99 * 1e3:>7.2f} | {len(result.latencies[key]):>8}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""QueryService: a persistent worker fleet over one shared-memory store.
+
+One process owns the map: it creates (or borrows) a
+:class:`~repro.serve.store.SharedCloudStore` and a persistent pool of worker
+processes.  Each worker attaches to the store **by name** — zero-copy, no
+tree pickle, no second compression pass — builds a worker-global
+:class:`~repro.engine.index.PointCloudIndex` over the shared tree and then
+serves whatever mixed traffic arrives: batched radius searches, batched kNN,
+and short end-to-end pipeline runs, each request naming any registered
+backend.
+
+Request/response model
+----------------------
+Requests are plain tuples dispatched through :meth:`QueryService.serve`
+(results return in request order, whatever order workers finish in — the
+same order-by-index collection the parallel sweeps use) or through the
+typed conveniences :meth:`radius`, :meth:`knn` and :meth:`pipeline`.
+Results are bitwise identical to running the same request against a local
+:class:`PointCloudIndex` over the same cloud: the shared tree *is* the same
+tree (same float32 points, same leaf structure, same compressed bytes), and
+the campaign's ``service`` op flavor diffs exactly that equivalence.
+
+Workers attach *borrowed* (non-refcounted): ``Pool.terminate()`` kills them
+without teardown, so they must not participate in the store's refcount —
+their lifetime is bounded by the service's own refcounted handle.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.index import DEFAULT_BACKEND, PointCloudIndex
+from ..engine.parallel import (
+    _in_daemon_process,
+    _pool_context,
+    _terminate_pool,
+    resolve_workers,
+)
+from ..kdtree.build import KDTreeConfig
+from ..runtime.batch import BatchKNNResult, BatchRadiusResult
+from .store import SharedCloudStore
+
+__all__ = ["QueryService"]
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-worker state: (borrowed store handle, index over the shared tree).
+_SERVICE_STATE: Optional[Tuple[SharedCloudStore, PointCloudIndex]] = None
+
+
+def _service_worker_init(store_name: str) -> None:
+    global _SERVICE_STATE
+    store = SharedCloudStore.attach(store_name, refcounted=False)
+    _SERVICE_STATE = (store, store.index())
+
+
+def _serve_one(request: tuple):
+    """Execute one request tuple against the worker's shared index."""
+    assert _SERVICE_STATE is not None, "service worker was not initialised"
+    _, index = _SERVICE_STATE
+    kind = request[0]
+    if kind == "radius":
+        _, queries, radius, backend = request
+        result = index.radius_search(queries, radius, backend=backend)
+        return result.offsets, result.point_indices
+    if kind == "knn":
+        _, queries, k, backend = request
+        result = index.knn(queries, k, backend=backend)
+        return result.indices, result.distances
+    if kind == "pipeline":
+        from ..workloads import PipelineRunner
+
+        _, scenario, n_frames, seed, backend = request
+        runner = PipelineRunner.from_scenario(
+            scenario, n_frames=n_frames, seed=seed, backend=backend)
+        return runner.run().metrics()
+    raise ValueError(f"unknown service request kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class QueryService:
+    """Mixed radius/kNN/pipeline traffic over one resident shared index.
+
+    Parameters
+    ----------
+    source:
+        A point cloud / ``(N, 3)`` array / :class:`KDTree` (a store is
+        created and owned — compressed exactly once), or an existing
+        :class:`SharedCloudStore` (borrowed; the caller keeps ownership).
+    n_workers:
+        Worker-pool size (default: :func:`resolve_workers`).
+    serial:
+        Force in-process serving (no pool) — automatic inside daemon
+        processes, where nested pools are not allowed.  Results are
+        identical either way.
+    """
+
+    def __init__(self, source, *, n_workers: Optional[int] = None,
+                 tree_config: Optional[KDTreeConfig] = None,
+                 fmt=None, serial: bool = False):
+        if isinstance(source, SharedCloudStore):
+            self.store = source
+            self._owns_store = False
+        else:
+            kwargs = {"tree_config": tree_config}
+            if fmt is not None:
+                kwargs["fmt"] = fmt
+            self.store = SharedCloudStore.create(source, **kwargs)
+            self._owns_store = True
+        self.n_workers = resolve_workers(n_workers)
+        self._serial = serial or self.n_workers < 2 or _in_daemon_process()
+        self._pool = None
+        self._pool_finalizer = None
+        self._local_index: Optional[PointCloudIndex] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The persistent worker pool, attached to the store by name."""
+        if self._pool is None:
+            ctx = _pool_context()
+            self._pool = ctx.Pool(
+                processes=self.n_workers, initializer=_service_worker_init,
+                initargs=(self.store.name,))
+            self._pool_finalizer = weakref.finalize(
+                self, _terminate_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the pool, then the owned store (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool_finalizer.detach()
+            _terminate_pool(self._pool)
+            self._pool = None
+            self._pool_finalizer = None
+        if self._local_index is not None:
+            self._local_index.close()
+            self._local_index = None
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[tuple]) -> List:
+        """Serve a mixed request batch; results in request order.
+
+        Request tuples: ``("radius", queries, radius, backend)``,
+        ``("knn", queries, k, backend)``,
+        ``("pipeline", scenario, n_frames, seed, backend)``.
+        """
+        if self._closed:
+            raise ValueError("QueryService is closed")
+        if self._serial:
+            if self._local_index is None:
+                self._local_index = self.store.index()
+            saved = globals()["_SERVICE_STATE"]
+            globals()["_SERVICE_STATE"] = (self.store, self._local_index)
+            try:
+                return [_serve_one(request) for request in requests]
+            finally:
+                globals()["_SERVICE_STATE"] = saved
+        pool = self._ensure_pool()
+        handles = [pool.apply_async(_serve_one, (request,))
+                   for request in requests]
+        return [handle.get() for handle in handles]
+
+    def radius(self, queries, radius: float, *,
+               backend: str = DEFAULT_BACKEND) -> BatchRadiusResult:
+        """Batched radius search through the service."""
+        offsets, point_indices = self.serve(
+            [("radius", np.asarray(queries, dtype=np.float64), radius,
+              backend)])[0]
+        return BatchRadiusResult(offsets=offsets, point_indices=point_indices)
+
+    def knn(self, queries, k: int, *,
+            backend: str = DEFAULT_BACKEND) -> BatchKNNResult:
+        """Batched kNN through the service."""
+        indices, distances = self.serve(
+            [("knn", np.asarray(queries, dtype=np.float64), k, backend)])[0]
+        return BatchKNNResult(indices=indices, distances=distances)
+
+    def pipeline(self, scenario: str, *, n_frames: int = 2, seed: int = 0,
+                 backend: str = DEFAULT_BACKEND) -> dict:
+        """A short end-to-end pipeline run served by a worker."""
+        return self.serve(
+            [("pipeline", scenario, n_frames, seed, backend)])[0]

@@ -71,6 +71,7 @@ __all__ = [
     "LocalizationReport",
     "PipelineRunResult",
     "PipelineRunner",
+    "FrameFold",
 ]
 
 
@@ -255,6 +256,57 @@ class PipelineRunResult:
         return out
 
 
+class FrameFold:
+    """Order-sensitive accumulation of per-frame clustering results.
+
+    The per-frame *stage* work (frame generation + clustering) is a pure
+    function of the frame index, so it can run out of order or in parallel;
+    everything stateful — extent filtering feeding the tracker, the
+    tracker's own update, the commutative-but-ordered statistics merges and
+    the record lists — lives here and must be fed **strictly in frame-index
+    order**.  Both the serial :class:`PipelineRunner` and the streaming
+    :class:`~repro.serve.streaming.StreamingPipelineRunner` fold through
+    this one code path, which is what makes their metrics bitwise
+    identical.
+    """
+
+    def __init__(self, config: PipelineRunnerConfig, execution: ExecutionConfig):
+        self.config = config
+        self.tracker = ClusterTracker(config.tracker)
+        self.cluster_search = SearchStats()
+        self.cluster_bonsai = BonsaiStats() if execution.use_bonsai else None
+        self.frames: List[FrameRecord] = []
+        self.measurements: List[FrameMeasurement] = []
+
+    def fold(self, index: int, cloud, measurement: FrameMeasurement) -> float:
+        """Fold one frame's stage output; returns the tracker wall-time."""
+        config = self.config
+        kept = filter_by_extent(
+            measurement.detections,
+            min_extent=config.min_detection_extent,
+            max_extent=config.max_detection_extent,
+        )
+        start = time.perf_counter()
+        confirmed = self.tracker.update(kept, timestamp=cloud.timestamp)
+        track_s = time.perf_counter() - start
+
+        self.cluster_search.merge(measurement.search_stats)
+        if self.cluster_bonsai is not None and measurement.bonsai_stats is not None:
+            self.cluster_bonsai.merge(measurement.bonsai_stats)
+        self.measurements.append(measurement)
+        self.frames.append(FrameRecord(
+            frame_index=index,
+            n_raw_points=measurement.n_raw_points,
+            n_filtered_points=measurement.n_filtered_points,
+            n_clusters=measurement.n_clusters,
+            n_detections_kept=len(kept),
+            n_confirmed_tracks=len(confirmed),
+            model_extract_seconds=measurement.extract.seconds,
+            model_end_to_end_seconds=measurement.end_to_end_seconds,
+        ))
+        return track_s
+
+
 class PipelineRunner:
     """Chains the full perception path over one driving sequence.
 
@@ -319,7 +371,6 @@ class PipelineRunner:
     def run(self) -> PipelineRunResult:
         """Run every stage and return the structured result."""
         config = self.config
-        execution = config.execution
         stage_seconds: Dict[str, float] = {}
 
         indices = self._select_frames()
@@ -327,19 +378,9 @@ class PipelineRunner:
         clouds = [self.sequence.frame(i) for i in indices]
         stage_seconds["generate"] = time.perf_counter() - start
 
-        pipeline_config = config.pipeline
-        frame_execution = execution
-        if pipeline_config.simulate_caches and not execution.hardware:
-            # A cache-simulating PipelineConfig keeps its per-frame recording
-            # even when the runner itself is not in hardware-in-the-loop mode
-            # (no per-stage hardware report is produced in that case).
-            frame_execution = execution.with_hardware(True)
-        cluster_pipeline = EuclideanClusterPipeline(pipeline_config)
-        tracker = ClusterTracker(config.tracker)
-        cluster_search = SearchStats()
-        cluster_bonsai = BonsaiStats() if execution.use_bonsai else None
-        frames: List[FrameRecord] = []
-        measurements: List[FrameMeasurement] = []
+        pipeline_config, frame_execution, cluster_pipeline = (
+            self._cluster_stage_setup())
+        fold = FrameFold(config, config.execution)
 
         cluster_s = 0.0
         track_s = 0.0
@@ -348,33 +389,33 @@ class PipelineRunner:
             measurement = cluster_pipeline.run_frame(
                 cloud, frame_index=index, execution=frame_execution)
             cluster_s += time.perf_counter() - start
-
-            kept = filter_by_extent(
-                measurement.detections,
-                min_extent=config.min_detection_extent,
-                max_extent=config.max_detection_extent,
-            )
-            start = time.perf_counter()
-            confirmed = tracker.update(kept, timestamp=cloud.timestamp)
-            track_s += time.perf_counter() - start
-
-            cluster_search.merge(measurement.search_stats)
-            if cluster_bonsai is not None and measurement.bonsai_stats is not None:
-                cluster_bonsai.merge(measurement.bonsai_stats)
-            measurements.append(measurement)
-            frames.append(FrameRecord(
-                frame_index=index,
-                n_raw_points=measurement.n_raw_points,
-                n_filtered_points=measurement.n_filtered_points,
-                n_clusters=measurement.n_clusters,
-                n_detections_kept=len(kept),
-                n_confirmed_tracks=len(confirmed),
-                model_extract_seconds=measurement.extract.seconds,
-                model_end_to_end_seconds=measurement.end_to_end_seconds,
-            ))
+            track_s += fold.fold(index, cloud, measurement)
         stage_seconds["cluster"] = cluster_s
         stage_seconds["track"] = track_s
 
+        return self._finish(indices, clouds, fold, pipeline_config,
+                            stage_seconds)
+
+    def _cluster_stage_setup(self) -> Tuple[PipelineConfig, ExecutionConfig,
+                                            EuclideanClusterPipeline]:
+        """The per-frame stage's shared, immutable inputs."""
+        execution = self.config.execution
+        pipeline_config = self.config.pipeline
+        frame_execution = execution
+        if pipeline_config.simulate_caches and not execution.hardware:
+            # A cache-simulating PipelineConfig keeps its per-frame recording
+            # even when the runner itself is not in hardware-in-the-loop mode
+            # (no per-stage hardware report is produced in that case).
+            frame_execution = execution.with_hardware(True)
+        return pipeline_config, frame_execution, EuclideanClusterPipeline(
+            pipeline_config)
+
+    def _finish(self, indices: Sequence[int], clouds: Sequence,
+                fold: FrameFold, pipeline_config: PipelineConfig,
+                stage_seconds: Dict[str, float]) -> PipelineRunResult:
+        """The serial tail every runner shares: localization + assembly."""
+        config = self.config
+        execution = config.execution
         localization = None
         localization_recorder = None
         localization_pipeline = None
@@ -392,28 +433,28 @@ class PipelineRunner:
             stage_seconds["localize"] = time.perf_counter() - start
 
         track_labels: Dict[str, int] = {}
-        for track in tracker.confirmed_tracks:
+        for track in fold.tracker.confirmed_tracks:
             track_labels[track.label] = track_labels.get(track.label, 0) + 1
 
         hardware_stages = None
         if execution.hardware:
             hardware_stages = self._hardware_stages(
-                pipeline_config, measurements, cluster_bonsai,
+                pipeline_config, fold.measurements, fold.cluster_bonsai,
                 localization, localization_recorder, localization_pipeline)
 
         return PipelineRunResult(
             scenario=self.scenario,
             use_bonsai=execution.use_bonsai,
             frame_indices=list(indices),
-            frames=frames,
-            cluster_search=cluster_search,
-            cluster_bonsai=cluster_bonsai,
+            frames=fold.frames,
+            cluster_search=fold.cluster_search,
+            cluster_bonsai=fold.cluster_bonsai,
             track_labels=track_labels,
-            tracks_spawned=tracker.tracks_spawned,
-            confirmed_tracks_final=len(tracker.confirmed_tracks),
+            tracks_spawned=fold.tracker.tracks_spawned,
+            confirmed_tracks_final=len(fold.tracker.confirmed_tracks),
             localization=localization,
             stage_seconds=stage_seconds,
-            measurements=measurements,
+            measurements=fold.measurements,
             hardware_stages=hardware_stages,
             backend=execution.backend,
         )

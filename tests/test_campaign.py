@@ -191,3 +191,78 @@ class TestBrokenBackendCaught:
         assert result.n_divergences == 0
         assert not list(result.result_dir.glob("divergence-*.json"))
         assert not list(result.result_dir.glob("repro_*.py"))
+
+
+class TestServiceOps:
+    """The ``service`` op flavor: shared-store attach diffed vs reference.
+
+    Campaign seed 3's first world samples exactly one op — a service op —
+    so ``budget=1, seed=3`` isolates the service-routed diff path.
+    """
+
+    SERVICE_SEED = 3  # random_world(3 * TRIAL_SEED_STRIDE) -> [service]
+
+    def test_service_world_is_sampled(self):
+        from repro.campaign.driver import TRIAL_SEED_STRIDE
+
+        world = random_world(self.SERVICE_SEED * TRIAL_SEED_STRIDE)
+        assert [op.kind for op in world.ops] == ["service"]
+        assert "service(" in world.ops[0].describe()
+
+    def test_service_ops_are_clean_over_real_backends(self, tmp_path):
+        config = CampaignConfig(
+            budget=1, seed=self.SERVICE_SEED, out_dir=tmp_path,
+            recorded=False)
+        result = run_campaign(config)
+        assert result.n_divergences == 0
+        # The trial record proves the service op actually ran.
+        assert any(op["kind"] == "service"
+                   for trial in result.trials
+                   for op in trial["world"]["ops"])
+
+    def test_broken_backend_caught_through_the_service_route(
+            self, tmp_path, broken_backend):
+        config = CampaignConfig(
+            budget=1, seed=self.SERVICE_SEED,
+            backends=("baseline-batched", broken_backend),
+            out_dir=tmp_path, recorded=False, max_shrink_evals=200)
+        result = run_campaign(config)
+        service_hits = [d for d in result.divergences
+                        if d.kind == "service-hits"]
+        assert service_hits, "dropped hit must surface via the service route"
+        divergence = service_hits[0]
+        # The left side names the service routing, not a bare backend.
+        assert divergence.left == f"service:{broken_backend}"
+        assert divergence.right == "baseline-batched"
+        # kNN delegates to the real backend, so only radius diverges.
+        assert not [d for d in result.divergences if d.kind == "service-knn"]
+
+        # The divergence shrinks to a handful of rows like any other.
+        shrunk = [d for d in service_hits if d.shrunk is not None]
+        assert shrunk, "service divergence must shrink"
+        smallest = min(shrunk, key=lambda d: d.shrunk["n_points"])
+        assert smallest.shrunk["n_points"] <= 8
+        assert smallest.shrunk["n_queries"] <= 8
+        reproducer = result.result_dir / smallest.reproducer
+        assert reproducer.exists()
+        source = reproducer.read_text()
+        assert "SharedCloudStore" in source
+
+    def test_service_reproducer_actually_fails(self, tmp_path,
+                                               broken_backend):
+        config = CampaignConfig(
+            budget=1, seed=self.SERVICE_SEED,
+            backends=("baseline-batched", broken_backend),
+            out_dir=tmp_path, recorded=False)
+        result = run_campaign(config)
+        shrunk = [d for d in result.divergences
+                  if d.kind == "service-hits" and d.reproducer is not None]
+        assert shrunk
+        source = (result.result_dir / shrunk[0].reproducer).read_text()
+        namespace: dict = {}
+        exec(compile(source, shrunk[0].reproducer, "exec"), namespace)
+        test_functions = [value for name, value in namespace.items()
+                          if name.startswith("test_") and callable(value)]
+        assert len(test_functions) == 1
+        with pytest.raises(AssertionError):
+            test_functions[0]()

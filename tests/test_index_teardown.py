@@ -76,6 +76,67 @@ class TestPointCloudIndexClose:
             index.close()
 
 
+class TestContextManagers:
+    def test_index_as_context_manager(self, case):
+        tree, queries = case
+        with PointCloudIndex(tree) as index:
+            backend = index.backend("baseline-batched-mp")
+            backend.radius_search(queries, 0.5)
+            assert backend._pool is not None
+        # __exit__ closed the cache; the pooled backend was torn down.
+        assert backend._pool is None
+        assert index._backends == {}
+
+    def test_context_manager_closes_on_exception(self, case):
+        tree, queries = case
+        with pytest.raises(RuntimeError, match="boom"):
+            with PointCloudIndex(tree) as index:
+                backend = index.backend("baseline-batched-mp")
+                backend.radius_search(queries, 0.5)
+                raise RuntimeError("boom")
+        assert backend._pool is None
+
+    def test_sharded_index_as_context_manager(self, case):
+        from repro.engine import ShardedPointCloudIndex
+
+        tree, queries = case
+        points = np.asarray(tree.points)
+        with ShardedPointCloudIndex(points, tile_size=5.0) as sharded:
+            result = sharded.radius_search(queries, 0.5)
+            assert result.offsets[-1] > 0
+        # Shards are closed; the index stays reusable per close() contract.
+        again = sharded.radius_search(queries, 0.5)
+        assert np.array_equal(result.offsets, again.offsets)
+        sharded.close()
+
+    def test_exit_without_close_in_subprocess_is_clean(self, case):
+        """Interpreter shutdown with live pools must not traceback."""
+        import subprocess
+        import sys
+
+        code = (
+            "import numpy as np\n"
+            "from repro.engine import PointCloudIndex\n"
+            "from repro.engine.parallel import MIN_PARALLEL_QUERIES\n"
+            "from repro.kdtree import build_kdtree\n"
+            "rng = np.random.default_rng(23)\n"
+            "points = rng.uniform(-7.0, 7.0, (500, 3)).astype(np.float32)\n"
+            "queries = points[:MIN_PARALLEL_QUERIES + 12]"
+            ".astype(np.float64)\n"
+            "index = PointCloudIndex(build_kdtree(points))\n"
+            "index.radius_search(queries, 0.5, "
+            "backend='baseline-batched-mp')\n"
+            "print('done')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+
 class TestMPBackendClose:
     def test_double_close_without_pool_is_safe(self, case):
         tree, _ = case
