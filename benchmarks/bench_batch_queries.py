@@ -79,43 +79,43 @@ def test_backend_dimension_table(benchmark, sweep_setup):
     """
     tree, queries = sweep_setup
     queries = queries[:N_BACKEND_QUERIES]
-    index = PointCloudIndex(tree)
+    with PointCloudIndex(tree) as index:
 
-    def run_all():
-        timings = {}
-        for name in backend_names():
-            backend = index.backend(name)
-            start = time.perf_counter()
-            radius_result = backend.radius_search(queries, RADIUS)
-            radius_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            knn_result = backend.knn(queries, K)
-            knn_seconds = time.perf_counter() - start
-            timings[name] = (radius_result, radius_seconds, knn_result, knn_seconds)
-        return timings
+        def run_all():
+            timings = {}
+            for name in backend_names():
+                backend = index.backend(name)
+                start = time.perf_counter()
+                radius_result = backend.radius_search(queries, RADIUS)
+                radius_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                knn_result = backend.knn(queries, K)
+                knn_seconds = time.perf_counter() - start
+                timings[name] = (radius_result, radius_seconds, knn_result, knn_seconds)
+            return timings
 
-    timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    reference, _, knn_reference, _ = timings["baseline-batched"]
-    for name, (radius_result, _, knn_result, _) in timings.items():
-        assert np.array_equal(radius_result.offsets, reference.offsets), name
-        assert np.array_equal(radius_result.point_indices,
-                              reference.point_indices), name
-        assert np.array_equal(knn_result.indices, knn_reference.indices), name
+        reference, _, knn_reference, _ = timings["baseline-batched"]
+        for name, (radius_result, _, knn_result, _) in timings.items():
+            assert np.array_equal(radius_result.offsets, reference.offsets), name
+            assert np.array_equal(radius_result.point_indices,
+                                  reference.point_indices), name
+            assert np.array_equal(knn_result.indices, knn_reference.indices), name
 
-    rows = [
-        (name,
-         f"{N_BACKEND_QUERIES / radius_seconds:,.0f}",
-         f"{N_BACKEND_QUERIES / knn_seconds:,.0f}",
-         "identical")
-        for name, (_, radius_seconds, _, knn_seconds) in sorted(timings.items())
-    ]
-    write_result("batch_backends", render_table(
-        ("Backend", "Radius q/s", "kNN q/s", "Results vs reference"),
-        rows,
-        title=(f"Execution-backend dimension - {N_BACKEND_QUERIES} queries, "
-               f"r={RADIUS} m, k={K} (one tree, backends by registry name)"),
-    ))
+        rows = [
+            (name,
+             f"{N_BACKEND_QUERIES / radius_seconds:,.0f}",
+             f"{N_BACKEND_QUERIES / knn_seconds:,.0f}",
+             "identical")
+            for name, (_, radius_seconds, _, knn_seconds) in sorted(timings.items())
+        ]
+        write_result("batch_backends", render_table(
+            ("Backend", "Radius q/s", "kNN q/s", "Results vs reference"),
+            rows,
+            title=(f"Execution-backend dimension - {N_BACKEND_QUERIES} queries, "
+                   f"r={RADIUS} m, k={K} (one tree, backends by registry name)"),
+        ))
 
 
 def test_batch_knn_speedup(benchmark, sweep_setup):

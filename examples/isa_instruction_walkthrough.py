@@ -76,7 +76,8 @@ def main() -> None:
     diffs = leaf_points.astype(np.float64) - query
     d2 = np.einsum("ij,ij->i", diffs, diffs)
     expected = sorted(np.nonzero(d2 <= radius * radius)[0].tolist())
-    assert sorted(in_radius) == expected, "ISA flow must match the 32-bit baseline"
+    if sorted(in_radius) != expected:
+        raise RuntimeError("ISA flow must match the 32-bit baseline")
     print("\nISA-level classification matches the 32-bit baseline exactly.")
 
 

@@ -39,35 +39,35 @@ def main() -> None:
 
     # 3. Index the cloud once (15 points per leaf, PCL default) and look at
     #    the compression opportunity the paper identifies in Section III-A.
-    index = PointCloudIndex(cloud)
-    similarity = leaf_similarity(index.tree)
-    print(f"K-d tree:               {index.n_leaves} leaves, depth {index.tree.depth()}")
-    print("Leaves sharing <sign, exponent> per coordinate: "
-          + ", ".join(f"{coord}={rate:.0%}" for coord, rate in similarity.share_rates.items()))
-    print(f"Registered backends:    {', '.join(backend_names())}")
+    with PointCloudIndex(cloud) as index:
+        similarity = leaf_similarity(index.tree)
+        print(f"K-d tree:               {index.n_leaves} leaves, depth {index.tree.depth()}")
+        print("Leaves sharing <sign, exponent> per coordinate: "
+              + ", ".join(f"{coord}={rate:.0%}" for coord, rate in similarity.share_rates.items()))
+        print(f"Registered backends:    {', '.join(backend_names())}")
 
-    # 4. Search through two named backends.  The first Bonsai query triggers
-    #    the lazy leaf compression (what the Bonsai-extensions do at tree
-    #    build time); results are guaranteed identical to the baseline.
-    baseline = index.backend("baseline-perquery")
-    bonsai = index.backend("bonsai-perquery")
-    print(f"Compressed leaf bytes:  {index.compression_report.compressed_bytes} "
-          f"({index.compression_report.compression_ratio:.0%} of the 32-bit baseline)")
+        # 4. Search through two named backends.  The first Bonsai query triggers
+        #    the lazy leaf compression (what the Bonsai-extensions do at tree
+        #    build time); results are guaranteed identical to the baseline.
+        baseline = index.backend("baseline-perquery")
+        bonsai = index.backend("bonsai-perquery")
+        print(f"Compressed leaf bytes:  {index.compression_report.compressed_bytes} "
+              f"({index.compression_report.compression_ratio:.0%} of the 32-bit baseline)")
 
-    radius = 0.6
-    mismatches = 0
-    for point_index in range(0, len(cloud), 10):
-        query = cloud[point_index]
-        expected = sorted(baseline.search(query, radius))
-        compressed = sorted(bonsai.search(query, radius))
-        mismatches += int(expected != compressed)
+        radius = 0.6
+        mismatches = 0
+        for point_index in range(0, len(cloud), 10):
+            query = cloud[point_index]
+            expected = sorted(baseline.search(query, radius))
+            compressed = sorted(bonsai.search(query, radius))
+            mismatches += int(expected != compressed)
 
-    print(f"Radius searches:        {baseline.stats.queries} queries, radius {radius} m")
-    print(f"Result mismatches:      {mismatches} (guaranteed 0 by the shell test)")
-    print(f"Bytes to fetch points:  baseline {baseline.stats.point_bytes_loaded / 1e6:.2f} MB, "
-          f"Bonsai {bonsai.stats.point_bytes_loaded / 1e6:.2f} MB")
-    print(f"Recomputed in 32-bit:   {bonsai.bonsai_stats.inconclusive_rate:.2%} "
-          f"of classifications (paper reports 0.37%)")
+        print(f"Radius searches:        {baseline.stats.queries} queries, radius {radius} m")
+        print(f"Result mismatches:      {mismatches} (guaranteed 0 by the shell test)")
+        print(f"Bytes to fetch points:  baseline {baseline.stats.point_bytes_loaded / 1e6:.2f} MB, "
+              f"Bonsai {bonsai.stats.point_bytes_loaded / 1e6:.2f} MB")
+        print(f"Recomputed in 32-bit:   {bonsai.bonsai_stats.inconclusive_rate:.2%} "
+              f"of classifications (paper reports 0.37%)")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,10 @@ Subpackages
     (compress once, attach everywhere), the pooled
     :class:`~repro.serve.service.QueryService` and the streaming pipeline
     runner with serial-identical metrics.
+``repro.lint``
+    Project-native static analysis: determinism, resource-lifecycle and
+    multiprocessing-safety rules behind a name registry, surfaced as
+    ``repro lint`` and the CI lint gate (``docs/LINT.md``).
 
 Top-level exports
 -----------------
@@ -90,6 +94,8 @@ instead of spelling out the subpackage:
     The scenario library registry (:mod:`repro.scenarios`).
 ``run_campaign`` / ``CampaignConfig`` / ``random_world``
     The differential-testing campaign engine (:mod:`repro.campaign`).
+``run_lint`` / ``rule_names``
+    The static analyzer and its rule registry (:mod:`repro.lint`).
 ``SharedCloudStore`` / ``QueryService`` / ``StreamingPipelineRunner``
     The serving layer (:mod:`repro.serve`): the shared-memory store, the
     pooled query service over it, and the overlapped-stage pipeline runner.
@@ -119,6 +125,8 @@ _EXPORTS = {
     "CampaignConfig": "repro.campaign",
     "run_campaign": "repro.campaign",
     "random_world": "repro.campaign",
+    "run_lint": "repro.lint",
+    "rule_names": "repro.lint",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
     "SharedCloudStore": "repro.serve",

@@ -53,11 +53,17 @@ The CLI exposes the most common flows without writing Python:
     statistics diffed pairwise, divergences shrunk to minimal pytest
     reproducers.  Writes a JSON manifest under ``--out-dir`` and exits
     non-zero when any divergence was found.
+``python -m repro lint``
+    Run the project-native static analyzer (:mod:`repro.lint`) over the
+    given paths (default ``src``): determinism, resource-lifecycle and
+    multiprocessing-safety rules, with inline suppressions and an optional
+    ``--baseline`` of grandfathered findings.  Exits non-zero on any new
+    unsuppressed finding.  ``docs/LINT.md`` catalogs the rules.
 
-Scenario names, backend names and cache-geometry names in ``--help`` output
-come straight from their registries (:mod:`repro.scenarios`,
-:mod:`repro.engine`, :mod:`repro.analysis.cache_sweep`), so the listings
-never drift from the code.
+Scenario names, backend names, cache-geometry names and lint-rule names in
+``--help`` output come straight from their registries (:mod:`repro.scenarios`,
+:mod:`repro.engine`, :mod:`repro.analysis.cache_sweep`, :mod:`repro.lint`),
+so the listings never drift from the code.
 """
 
 from __future__ import annotations
@@ -273,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
                           default=200,
                           help="evaluation budget of each shrink run")
 
+    from .lint import rule_names
+
+    lint = subparsers.add_parser(
+        "lint", help="run the project-native static analyzer",
+        description=f"Registered rules: {', '.join(rule_names())} "
+                    f"(catalog: docs/LINT.md)")
+    lint.add_argument("paths", nargs="*", type=Path, default=[Path("src")],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format")
+    lint.add_argument("--rule", action="append", dest="rules",
+                      choices=rule_names(), default=None,
+                      help="run only this rule (repeatable; default: all)")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="baseline file of grandfathered findings; only "
+                           "new findings fail the run")
+    lint.add_argument("--write-baseline", type=Path, default=None,
+                      help="write the current findings as a baseline file "
+                           "and exit 0")
+    lint.add_argument("--output", type=Path, default=None,
+                      help="also write the report to this file")
+
     return parser
 
 
@@ -327,20 +355,21 @@ def _cmd_compress_stats(args: argparse.Namespace) -> int:
 
     sequence = _sequence(args.frame + 1, args.seed)
     cloud = preprocess_for_clustering(sequence.frame(args.frame))
-    index = PointCloudIndex(cloud)
-    similarity = leaf_similarity(index.tree)
-    bonsai = index.backend("bonsai-perquery")
-    for point_index in range(0, len(cloud), 10):
-        bonsai.search(cloud[point_index], args.radius)
-    report = index.compression_report
+    with PointCloudIndex(cloud) as index:
+        similarity = leaf_similarity(index.tree)
+        bonsai = index.backend("bonsai-perquery")
+        for point_index in range(0, len(cloud), 10):
+            bonsai.search(cloud[point_index], args.radius)
+        report = index.compression_report
 
-    print(f"frame {args.frame}: {len(cloud)} points, {index.n_leaves} leaves")
-    for coord, rate in similarity.share_rates.items():
-        print(f"  {coord} sign/exponent shared in {rate:.1%} of leaves")
-    print(f"  compressed footprint: {report.compressed_bytes} B "
-          f"({report.compression_ratio:.1%} of baseline)")
-    print(f"  recompute rate at radius {args.radius} m: "
-          f"{bonsai.bonsai_stats.inconclusive_rate:.3%}")
+        print(f"frame {args.frame}: {len(cloud)} points, "
+              f"{index.n_leaves} leaves")
+        for coord, rate in similarity.share_rates.items():
+            print(f"  {coord} sign/exponent shared in {rate:.1%} of leaves")
+        print(f"  compressed footprint: {report.compressed_bytes} B "
+              f"({report.compression_ratio:.1%} of baseline)")
+        print(f"  recompute rate at radius {args.radius} m: "
+              f"{bonsai.bonsai_stats.inconclusive_rate:.3%}")
     return 0
 
 
@@ -415,52 +444,52 @@ def _cmd_batch_sweep(args: argparse.Namespace) -> int:
 
     sequence = _sequence(args.frame + 1, args.seed)
     cloud = preprocess_for_clustering(sequence.frame(args.frame))
-    index = PointCloudIndex(cloud)
+    with PointCloudIndex(cloud) as index:
 
-    rng = np.random.default_rng(args.seed * 13 + 1)
-    base = cloud.points[rng.integers(0, len(cloud), args.queries)]
-    queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
+        rng = np.random.default_rng(args.seed * 13 + 1)
+        base = cloud.points[rng.integers(0, len(cloud), args.queries)]
+        queries = base.astype(np.float64) + rng.normal(0.0, 0.25, base.shape)
 
-    backend_name = _resolve_backend(args)
-    backend = index.backend(backend_name)
+        backend_name = _resolve_backend(args)
+        backend = index.backend(backend_name)
 
-    start = time.perf_counter()
-    radius_result = backend.radius_search(queries, args.radius)
-    radius_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    knn_result = backend.knn(queries, args.k)
-    knn_seconds = time.perf_counter() - start
-
-    n_queries = max(args.queries, 0)
-    mean_neighbors = radius_result.counts.mean() if n_queries else 0.0
-    mean_nearest = knn_result.distances[:, 0].mean() if n_queries else 0.0
-    print(f"frame {args.frame}: {len(cloud)} points, {index.n_leaves} leaves, "
-          f"{n_queries} queries ({backend_name} backend)")
-    print(f"  radius {args.radius} m: {radius_result.total_matches} matches, "
-          f"{mean_neighbors:.1f} neighbours/query, "
-          f"{n_queries / radius_seconds:,.0f} queries/s")
-    print(f"  knn k={args.k}: mean nearest distance {mean_nearest:.3f} m, "
-          f"{n_queries / knn_seconds:,.0f} queries/s")
-    stats = backend.stats
-    print(f"  stats: {stats.leaves_visited / max(stats.queries, 1):.1f} leaf visits/query, "
-          f"{stats.points_examined} points examined, "
-          f"{stats.point_bytes_loaded} B of leaf points loaded")
-
-    if args.compare_loop:
-        flavor = backend_name.split("-", 1)[0]
-        loop_backend = index.backend(f"{flavor}-perquery")
         start = time.perf_counter()
-        for query in queries:
-            loop_backend.search(query, args.radius)
-        loop_radius_seconds = time.perf_counter() - start
+        radius_result = backend.radius_search(queries, args.radius)
+        radius_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        loop_backend.knn(queries, args.k)
-        loop_knn_seconds = time.perf_counter() - start
-        print(f"  {flavor}-perquery backend: "
-              f"radius {args.queries / loop_radius_seconds:,.0f} queries/s "
-              f"({backend_name} is {loop_radius_seconds / radius_seconds:.1f}x faster), "
-              f"knn {args.queries / loop_knn_seconds:,.0f} queries/s "
-              f"({backend_name} is {loop_knn_seconds / knn_seconds:.1f}x faster)")
+        knn_result = backend.knn(queries, args.k)
+        knn_seconds = time.perf_counter() - start
+
+        n_queries = max(args.queries, 0)
+        mean_neighbors = radius_result.counts.mean() if n_queries else 0.0
+        mean_nearest = knn_result.distances[:, 0].mean() if n_queries else 0.0
+        print(f"frame {args.frame}: {len(cloud)} points, {index.n_leaves} leaves, "
+              f"{n_queries} queries ({backend_name} backend)")
+        print(f"  radius {args.radius} m: {radius_result.total_matches} matches, "
+              f"{mean_neighbors:.1f} neighbours/query, "
+              f"{n_queries / radius_seconds:,.0f} queries/s")
+        print(f"  knn k={args.k}: mean nearest distance {mean_nearest:.3f} m, "
+              f"{n_queries / knn_seconds:,.0f} queries/s")
+        stats = backend.stats
+        print(f"  stats: {stats.leaves_visited / max(stats.queries, 1):.1f} leaf visits/query, "
+              f"{stats.points_examined} points examined, "
+              f"{stats.point_bytes_loaded} B of leaf points loaded")
+
+        if args.compare_loop:
+            flavor = backend_name.split("-", 1)[0]
+            loop_backend = index.backend(f"{flavor}-perquery")
+            start = time.perf_counter()
+            for query in queries:
+                loop_backend.search(query, args.radius)
+            loop_radius_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            loop_backend.knn(queries, args.k)
+            loop_knn_seconds = time.perf_counter() - start
+            print(f"  {flavor}-perquery backend: "
+                  f"radius {args.queries / loop_radius_seconds:,.0f} queries/s "
+                  f"({backend_name} is {loop_radius_seconds / radius_seconds:.1f}x faster), "
+                  f"knn {args.queries / loop_knn_seconds:,.0f} queries/s "
+                  f"({backend_name} is {loop_knn_seconds / knn_seconds:.1f}x faster)")
     return 0
 
 
@@ -661,6 +690,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (load_baseline, render_json, render_text, run_lint,
+                       write_baseline)
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = run_lint(args.paths, rules=args.rules, baseline=baseline)
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print(f"wrote baseline with {len(report.findings)} finding(s) "
+              f"to {args.write_baseline}")
+        return 0
+    rendered = (render_json(report) if args.format == "json"
+                else render_text(report) + "\n")
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.format} report to {args.output}")
+    print(rendered, end="")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
@@ -672,6 +721,7 @@ _COMMANDS = {
     "hw-sweep": _cmd_hw_sweep,
     "serve-bench": _cmd_serve_bench,
     "campaign": _cmd_campaign,
+    "lint": _cmd_lint,
 }
 
 

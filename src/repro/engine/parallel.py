@@ -273,7 +273,8 @@ def _init_worker_shared(store_name: str, inner_name: str, opts: dict) -> None:
 def _fresh_worker_backend():
     from .registry import get_backend
 
-    assert _WORKER_STATE is not None, "worker pool was not initialised"
+    if _WORKER_STATE is None:
+        raise RuntimeError("worker pool was not initialised")
     tree, inner_name, opts = _WORKER_STATE
     return get_backend(inner_name, tree, **opts)
 

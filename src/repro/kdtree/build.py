@@ -14,6 +14,8 @@ uses, and which Autoware's euclidean cluster relies on):
   the two children along the split coordinate (used by the search to bound
   the distance to the not-taken sub-tree).
 """
+# repro-lint: disable-file=hygiene-assert-control-flow -- KDTree.validate()
+# documents "Raises AssertionError" as its contract; its asserts are the API.
 
 from __future__ import annotations
 

@@ -1,0 +1,53 @@
+"""Project-native static analysis: the guarantees, checked at commit time.
+
+The dynamic suites prove the reproduction's guarantees on the seeds they
+run — golden snapshots, cross-backend parity, the differential campaigns,
+the teardown chasers.  :mod:`repro.lint` checks the *code patterns* those
+guarantees depend on, so a regression is a lint finding at commit time
+instead of a flaky divergence three PRs later:
+
+``determinism-*``
+    no unseeded randomness, no wall-clock or environment reads in
+    result-affecting modules, no set-iteration feeding ordered merges.
+``lifecycle-*``
+    every store/index/pool/segment constructed is scoped with ``with`` or
+    closed on the function's exit paths.
+``mp-*`` / ``hygiene-*``
+    worker callables stay module-level picklable; no mutable default
+    arguments, bare/swallowing ``except`` blocks or load-bearing
+    ``assert`` statements.
+
+Rules live in a name registry mirroring the execution-backend registry:
+:func:`rule_names` lists them, :func:`register_rule` adds one (see
+``docs/LINT.md`` for the extension walkthrough).  Findings honor inline
+``# repro-lint: disable=<rule-id>`` suppressions and a committed baseline
+file; the CLI surface is ``repro lint [paths] --format text|json``.
+"""
+
+from .findings import (Finding, SEVERITIES, load_baseline, match_baseline,
+                       write_baseline)
+from .registry import (PATH_KINDS, Rule, all_rules, get_rule, register_rule,
+                       rule_names)
+from .runner import (LintModule, LintReport, iter_python_files, lint_file,
+                     render_json, render_text, run_lint)
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "PATH_KINDS",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "load_baseline",
+    "match_baseline",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,121 @@
+"""Findings and baseline bookkeeping of the repro linter.
+
+A :class:`Finding` is one rule violation: rule id, severity, display path,
+1-based line/column and a human message.  Findings order *totally* and
+deterministically — the report of two identical runs over the same tree is
+byte-identical, which the campaign/golden infrastructure relies on (and
+``tests/test_lint.py`` locks down).
+
+Baselines grandfather pre-existing findings: a committed JSON file of
+``(rule, path, message)`` fingerprints that the runner subtracts before
+deciding the exit code.  Fingerprints are line-agnostic on purpose — an
+unrelated edit that shifts a grandfathered finding by a few lines must not
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "load_baseline",
+    "match_baseline",
+    "write_baseline",
+]
+
+#: Valid rule severities, in decreasing weight.  Both gate the exit code —
+#: severity is a reading aid, not a waiver.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Total, deterministic report order: location first, then rule."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-agnostic identity used by baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """The one-line text form (``path:line:col: severity [rule] msg``)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity} [{self.rule}] {self.message}")
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a multiset of finding fingerprints.
+
+    The format is the one :func:`write_baseline` produces.  A missing
+    ``findings`` key or a non-list is a malformed baseline and raises
+    ``ValueError`` naming the file — a silently empty baseline would make
+    every grandfathered finding look new.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("findings") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed lint baseline {path}: expected "
+                         f"{{\"findings\": [...]}}")
+    counts: Counter = Counter()
+    for entry in entries:
+        counts[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counts
+
+
+def match_baseline(findings: Sequence[Finding],
+                   baseline: Counter) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, baselined) against the fingerprints.
+
+    Count-aware: a baseline entry absorbs exactly as many findings as it was
+    recorded with, so *adding* a second instance of a grandfathered mistake
+    still fails the run.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new grandfathered baseline (sorted, stable)."""
+    entries = sorted(
+        ({"rule": f.rule, "path": f.path, "message": f.message}
+         for f in findings),
+        key=lambda e: (e["path"], e["rule"], e["message"]))
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")

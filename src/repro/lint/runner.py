@@ -1,0 +1,323 @@
+"""The lint runner: file discovery, suppression semantics, report rendering.
+
+One :class:`LintModule` per Python file carries the parsed AST plus the
+shared analyses every rule needs — the import-alias map (so ``np.random.rand``
+resolves to ``numpy.random.rand`` whatever the import spelling), a parent
+map for context-sensitive checks, and the inline suppression table.
+
+Suppression syntax (checked by ``tests/test_lint.py``):
+
+``# repro-lint: disable=<rule-id>[,<rule-id>...]``
+    Suppresses the named rules on that physical line.  Put the one-line
+    justification in the same comment, after the ids.
+``# repro-lint: disable-file=<rule-id>[,<rule-id>...]``
+    Suppresses the named rules for the whole file (for sanctioned modules
+    like the documented ``KDTree.validate`` assertion contract).
+
+Both leave a ``suppressed`` trail in the report — a suppression is visible,
+never silent.  Baseline files (:func:`repro.lint.findings.load_baseline`)
+grandfather findings without touching the source; the exit contract is
+*new unsuppressed findings fail*.
+
+Determinism: files are discovered in sorted order, findings sort by
+``(path, line, col, rule, message)`` and the JSON rendering is key-sorted —
+two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .findings import Finding, match_baseline
+from .registry import Rule, all_rules
+
+__all__ = ["LintModule", "LintReport", "iter_python_files", "lint_file",
+           "render_json", "render_text", "run_lint"]
+
+#: Directory names never descended into during discovery.  ``lint_fixtures``
+#: holds the deliberately violating rule-fixture snippets of the test suite;
+#: passing a fixture file *explicitly* still lints it.
+SKIPPED_DIRS = frozenset({"__pycache__", "lint_fixtures"})
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([a-z0-9\-]+(?:\s*,\s*[a-z0-9\-]+)*)")
+_DISABLE_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([a-z0-9\-]+(?:\s*,\s*[a-z0-9\-]+)*)")
+
+
+def _split_ids(text: str) -> Set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+class LintModule:
+    """One parsed source file plus the analyses shared by every rule."""
+
+    def __init__(self, path: Path, text: str, *, display: Optional[str] = None,
+                 kind: Optional[str] = None):
+        self.path = Path(path)
+        self.display = display if display is not None else self.path.as_posix()
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=self.display)
+        self.kind = kind if kind is not None else self._detect_kind()
+        self.suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self._scan_suppressions()
+        self.aliases = self._import_aliases()
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def from_path(cls, path: Path, *, display: Optional[str] = None) -> "LintModule":
+        path = Path(path)
+        return cls(path, path.read_text(encoding="utf-8"), display=display)
+
+    # ------------------------------------------------------------------
+    # Path classification
+    # ------------------------------------------------------------------
+    def _detect_kind(self) -> str:
+        """``tests`` / ``benchmarks`` / ``examples`` by path part; ``src``
+        otherwise — the strictest default, so stray scripts get the full
+        rule set rather than a silent exemption."""
+        parts = set(Path(self.display).parts)
+        for kind in ("tests", "benchmarks", "examples"):
+            if kind in parts:
+                return kind
+        return "src"
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(line)
+            if match:
+                self.suppressions.setdefault(lineno, set()).update(
+                    _split_ids(match.group(1)))
+            match = _DISABLE_FILE_RE.search(line)
+            if match:
+                self.file_suppressions.update(_split_ids(match.group(1)))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_suppressions:
+            return True
+        return finding.rule in self.suppressions.get(finding.line, ())
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def _import_aliases(self) -> Dict[str, str]:
+        """Local name -> fully dotted module/attribute it is bound to."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".", 1)[0]
+                    full = item.name if item.asname else item.name.split(".", 1)[0]
+                    aliases[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports resolve inside this package; prefix them
+                # so they can never collide with stdlib/numpy patterns.
+                base = ("." * node.level) + (node.module or "")
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    aliases[item.asname or item.name] = f"{base}.{item.name}"
+        return aliases
+
+    def full_name(self, node: ast.AST) -> Optional[str]:
+        """The fully qualified dotted name of a Name/Attribute chain.
+
+        Resolves the head through the import-alias map: with ``import numpy
+        as np``, the call ``np.random.rand(...)`` resolves to
+        ``numpy.random.rand``.  Returns ``None`` for anything that is not a
+        plain dotted chain (calls, subscripts, literals).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0])
+        if head is not None:
+            parts[0] = head
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # Tree helpers
+    # ------------------------------------------------------------------
+    def walk(self, *types: Type[ast.AST]) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (parent map built on first use)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+    def scopes(self) -> Iterator[ast.AST]:
+        """The module node plus every function definition (any nesting)."""
+        yield self.tree
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk one scope's body without descending into nested functions.
+
+        Nested defs and lambdas are their own scopes — a rule that walks
+        per-scope sees each construct exactly once.
+        """
+        todo = list(ast.iter_child_nodes(scope))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# Discovery and execution
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every Python file under ``paths``, sorted, skipping fixture/cache dirs.
+
+    A path given explicitly is always linted, even inside a skipped
+    directory — that is how the fixture tests exercise the rules.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if not SKIPPED_DIRS.intersection(candidate.parts)
+                and not any(part.startswith(".") for part in candidate.parts[1:]))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint target {path} is neither a "
+                                    f"directory nor a Python file")
+    seen: Set[Path] = set()
+    unique = []
+    for candidate in files:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (see :func:`run_lint`)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run gates green (no new unsuppressed findings)."""
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        errors = sum(1 for f in self.findings if f.severity == "error")
+        return {"errors": errors, "warnings": len(self.findings) - errors}
+
+
+def lint_file(path: Path, *, rules: Optional[Sequence[Rule]] = None,
+              display: Optional[str] = None) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns ``(findings, suppressed)``, both sorted.
+
+    A file that fails to parse yields one synthetic ``parse-error`` finding
+    — a tree the linter cannot read is itself a finding, not a crash.
+    """
+    display = display if display is not None else Path(path).as_posix()
+    try:
+        module = LintModule.from_path(path, display=display)
+    except SyntaxError as exc:
+        return [Finding(rule="parse-error", severity="error", path=display,
+                        line=exc.lineno or 1, col=(exc.offset or 0) or 1,
+                        message=f"file does not parse: {exc.msg}")], []
+    active = all_rules() if rules is None else rules
+    found: List[Finding] = []
+    for rule in active:
+        if module.kind in rule.scopes:
+            found.extend(rule.check(module))
+    found.sort(key=lambda f: f.sort_key)
+    kept = [f for f in found if not module.is_suppressed(f)]
+    suppressed = [f for f in found if module.is_suppressed(f)]
+    return kept, suppressed
+
+
+def run_lint(paths: Sequence[Path], *, rules: Optional[Sequence[str]] = None,
+             baseline=None) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``rules`` selects a subset by name (every registered rule when omitted);
+    ``baseline`` is a fingerprint multiset from
+    :func:`~repro.lint.findings.load_baseline`.  The report's ``findings``
+    are the *new, unsuppressed* ones — the set that gates the exit code.
+    """
+    active = all_rules(rules)
+    report = LintReport()
+    for path in iter_python_files(paths):
+        found, suppressed = lint_file(path, rules=active)
+        report.findings.extend(found)
+        report.suppressed.extend(suppressed)
+        report.n_files += 1
+    report.findings.sort(key=lambda f: f.sort_key)
+    report.suppressed.sort(key=lambda f: f.sort_key)
+    if baseline:
+        report.findings, report.baselined = match_baseline(
+            report.findings, baseline)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_text(report: LintReport) -> str:
+    """The human report: one line per finding plus a deterministic summary."""
+    lines = [finding.render() for finding in report.findings]
+    counts = report.counts()
+    lines.append(
+        f"{len(report.findings)} finding(s) "
+        f"({counts['errors']} error(s), {counts['warnings']} warning(s)), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined, "
+        f"{report.n_files} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine report (stable key order, byte-identical across runs)."""
+    counts = report.counts()
+    payload = {
+        "version": 1,
+        "findings": [f.to_json() for f in report.findings],
+        "suppressed": [f.to_json() for f in report.suppressed],
+        "baselined": [f.to_json() for f in report.baselined],
+        "summary": {
+            "errors": counts["errors"],
+            "warnings": counts["warnings"],
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "files": report.n_files,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -60,7 +60,8 @@ def _service_worker_init(store_name: str) -> None:
 
 def _serve_one(request: tuple):
     """Execute one request tuple against the worker's shared index."""
-    assert _SERVICE_STATE is not None, "service worker was not initialised"
+    if _SERVICE_STATE is None:
+        raise RuntimeError("service worker was not initialised")
     _, index = _SERVICE_STATE
     kind = request[0]
     if kind == "radius":

@@ -83,7 +83,7 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
     """
     try:
         resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-    except Exception:  # pragma: no cover - tracker API drift
+    except Exception:  # pragma: no cover  # repro-lint: disable=hygiene-broad-except -- tracker API drift; unregister is best-effort
         pass
 
 
@@ -97,7 +97,7 @@ def _unlink_segment(shm: shared_memory.SharedMemory) -> bool:
     """
     try:
         resource_tracker.register(shm._name, "shared_memory")  # type: ignore[attr-defined]
-    except Exception:  # pragma: no cover - tracker API drift
+    except Exception:  # pragma: no cover  # repro-lint: disable=hygiene-broad-except -- tracker API drift; register is best-effort
         pass
     try:
         shm.unlink()  # unregisters again on success
@@ -569,5 +569,5 @@ def _finalize_store(name: str,
     """weakref.finalize hook: best-effort close of an abandoned handle."""
     try:
         _release_store(name, segments, refcounted)
-    except Exception:  # pragma: no cover - interpreter shutdown
+    except Exception:  # pragma: no cover  # repro-lint: disable=hygiene-broad-except -- shutdown finalizer must never raise
         pass

@@ -1,0 +1,8 @@
+"""Seeded violation: environment reads steering result-affecting code."""
+import os
+
+
+def chunk_size():
+    if os.getenv("FAST_MODE"):
+        return 16
+    return int(os.environ.get("CHUNK", "256"))

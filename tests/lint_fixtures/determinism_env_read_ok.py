@@ -1,0 +1,7 @@
+"""Clean counterpart: configuration threads through explicit parameters."""
+
+
+def chunk_size(fast_mode, chunk=256):
+    if fast_mode:
+        return 16
+    return chunk

@@ -1,0 +1,9 @@
+"""Seeded violation: set iteration order feeding ordered results."""
+
+
+def merge(ids, more):
+    out = []
+    for item in set(ids):
+        out.append(item)
+    out.extend(x * 2 for x in {1, 2, 3})
+    return out + list(frozenset(more))

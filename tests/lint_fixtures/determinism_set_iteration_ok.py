@@ -1,0 +1,9 @@
+"""Clean counterpart: sets are sorted before order matters."""
+
+
+def merge(ids, more):
+    out = []
+    for item in sorted(set(ids)):
+        out.append(item)
+    out.extend(x * 2 for x in sorted({1, 2, 3}))
+    return out + sorted(frozenset(more))

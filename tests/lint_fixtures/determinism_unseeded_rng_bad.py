@@ -1,0 +1,11 @@
+"""Seeded violation: unseeded and global-state RNG calls."""
+import random
+
+import numpy as np
+
+
+def sample(points):
+    rng = np.random.default_rng()
+    jitter = np.random.normal(0.0, 1.0, len(points))
+    random.shuffle(points)
+    return rng, jitter, points

@@ -1,0 +1,9 @@
+"""Clean counterpart: every draw flows from an explicit seed."""
+import numpy as np
+
+
+def sample(points, seed):
+    rng = np.random.default_rng(seed)
+    jitter = rng.normal(0.0, 1.0, len(points))
+    order = rng.permutation(len(points))
+    return jitter, order

@@ -1,0 +1,9 @@
+"""Seeded violation: wall-clock reads folded into a result."""
+import time
+from datetime import datetime
+
+
+def stamp_result(value):
+    return {"value": value, "at": time.time(),
+            "elapsed": time.perf_counter(),
+            "when": datetime.now()}

@@ -1,0 +1,5 @@
+"""Clean counterpart: timestamps arrive as explicit parameters."""
+
+
+def stamp_result(value, at):
+    return {"value": value, "at": at}

@@ -1,0 +1,6 @@
+"""Seeded violation: assert as a runtime guard."""
+
+
+def guard(value):
+    assert value > 0, "value must be positive"
+    return value

@@ -1,0 +1,7 @@
+"""Clean counterpart: explicit exception for the runtime guard."""
+
+
+def guard(value):
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return value

@@ -1,0 +1,15 @@
+"""Seeded violation: bare and silently swallowing except blocks."""
+
+
+def swallow_everything(task):
+    try:
+        return task()
+    except:
+        return None
+
+
+def swallow_broad(task):
+    try:
+        return task()
+    except Exception:
+        pass

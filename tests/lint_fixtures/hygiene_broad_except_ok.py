@@ -1,0 +1,23 @@
+"""Clean counterpart: narrow types, bound names, or re-raises."""
+
+
+def narrow(task):
+    try:
+        return task()
+    except ValueError:
+        return None
+
+
+def bound(task):
+    try:
+        return task()
+    except Exception as exc:
+        return exc
+
+
+def reraised(task, cleanup):
+    try:
+        return task()
+    except Exception:
+        cleanup()
+        raise

@@ -1,0 +1,13 @@
+"""Seeded violation: mutable default arguments."""
+from collections import defaultdict
+
+
+def collect(item, seen=[]):
+    seen.append(item)
+    return seen
+
+
+def tally(key, counts={}, *, groups=defaultdict(list)):
+    counts[key] = counts.get(key, 0) + 1
+    groups[key].append(key)
+    return counts, groups

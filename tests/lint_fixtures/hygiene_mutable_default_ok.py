@@ -1,0 +1,13 @@
+"""Clean counterpart: None defaults, objects created per call."""
+
+
+def collect(item, seen=None):
+    seen = [] if seen is None else seen
+    seen.append(item)
+    return seen
+
+
+def tally(key, counts=None):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,18 @@
+"""Seeded violation: constructed resources never released."""
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.engine import PointCloudIndex
+
+
+def leak_segment(size):
+    shm = SharedMemory(create=True, size=size)
+    return shm.size
+
+
+def leak_index(cloud, query, radius):
+    index = PointCloudIndex(cloud)
+    return index.backend("baseline-perquery").search(query, radius)
+
+
+def discard_index(cloud):
+    PointCloudIndex(cloud)

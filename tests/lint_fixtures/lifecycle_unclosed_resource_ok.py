@@ -1,0 +1,21 @@
+"""Clean counterpart: scoped with `with`, closed in finally, or escaping."""
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.engine import PointCloudIndex
+
+
+def scoped(cloud, query, radius):
+    with PointCloudIndex(cloud) as index:
+        return index.backend("baseline-perquery").search(query, radius)
+
+
+def closed_on_exit(size):
+    shm = SharedMemory(create=True, size=size)
+    try:
+        return shm.size
+    finally:
+        shm.close()
+
+
+def ownership_transferred(cloud):
+    return PointCloudIndex(cloud)

@@ -1,0 +1,13 @@
+"""Seeded violation: closures handed to process pools."""
+from multiprocessing import get_context
+
+
+def run(items):
+    def work(item):
+        return item * 2
+
+    ctx = get_context("spawn")
+    with ctx.Pool(2) as pool:
+        doubled = pool.map(work, items)
+        shifted = pool.map(lambda item: item + 1, items)
+    return doubled, shifted

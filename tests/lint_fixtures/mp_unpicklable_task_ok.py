@@ -1,0 +1,21 @@
+"""Clean counterpart: module-level tasks for processes, closures for threads."""
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_context
+
+
+def work(item):
+    return item * 2
+
+
+def run(items):
+    ctx = get_context("spawn")
+    with ctx.Pool(2) as pool:
+        doubled = pool.map(work, items)
+    offset = 1
+
+    def shift(item):
+        return item + offset
+
+    with ThreadPoolExecutor(max_workers=2) as threads:
+        shifted = list(threads.map(shift, items))
+    return doubled, shifted

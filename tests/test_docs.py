@@ -16,6 +16,7 @@ import pytest
 REPO = Path(__file__).resolve().parent.parent
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
 PERFORMANCE = REPO / "docs" / "PERFORMANCE.md"
+LINT = REPO / "docs" / "LINT.md"
 README = REPO / "README.md"
 SRC = REPO / "src" / "repro"
 
@@ -75,6 +76,25 @@ def test_performance_doc_covers_every_backend_and_geometry():
         assert f"`{name}`" in text, f"{name} missing from docs/PERFORMANCE.md"
 
 
+def test_lint_doc_exists():
+    assert LINT.exists(), "docs/LINT.md is a deliverable"
+
+
+def test_readme_and_architecture_link_lint_doc():
+    assert "docs/LINT.md" in README.read_text(encoding="utf-8")
+    assert "LINT.md" in ARCHITECTURE.read_text(encoding="utf-8")
+
+
+def test_lint_doc_catalogs_every_registered_rule():
+    """The rule catalog must name every registered lint rule — a new
+    registration without a catalog entry is doc drift."""
+    from repro.lint import rule_names
+
+    text = LINT.read_text(encoding="utf-8")
+    for name in rule_names():
+        assert f"`{name}`" in text, f"{name} missing from docs/LINT.md"
+
+
 def test_readme_backend_matrix_lists_every_backend():
     """The README backend table must list every registered backend name."""
     from repro.engine import backend_names
@@ -110,8 +130,8 @@ def test_every_package_described_in_layers():
 
 
 @pytest.mark.parametrize("doc", ["docs/ARCHITECTURE.md", "docs/PERFORMANCE.md",
-                                 "README.md"],
-                         ids=["architecture", "performance", "readme"])
+                                 "docs/LINT.md", "README.md"],
+                         ids=["architecture", "performance", "lint", "readme"])
 def test_relative_links_resolve(doc):
     path = REPO / doc
     for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
