@@ -17,6 +17,9 @@ cells across one process pool.
 Scale knobs: ``REPRO_BENCH_CACHE_FRAMES`` (default 2),
 ``REPRO_BENCH_CACHE_BEAMS`` / ``REPRO_BENCH_CACHE_AZIMUTH`` (default
 18 x 180), ``REPRO_BENCH_CACHE_JOBS`` (default: auto worker count).
+With ``REPRO_TRENDS_DIR`` set, the regenerated table is also recorded into
+the trend store (family ``cache-sensitivity``, one record per geometry x
+mode) — see ``docs/TRENDS.md``.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import pytest
 from repro.analysis import CacheGeometrySweep, render_cache_sensitivity
 from repro.analysis.cache_sweep import DEFAULT_GEOMETRY_NAMES
 from repro.engine.parallel import resolve_workers
+from repro.trends import collect_cache_sweep, maybe_record
 
 from paper_reference import write_result
 
@@ -53,6 +57,8 @@ def test_cache_sensitivity_report(benchmark, sweep):
     """Regenerate the sensitivity table and check its structural claims."""
     result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
     write_result("cache_sensitivity", render_cache_sensitivity(result))
+    maybe_record(lambda ctx: collect_cache_sweep(
+        result, commit=ctx.commit, run_id=ctx.run_id, order=ctx.order))
 
     rows = result.comparison_rows()
     by_name = {row["geometry"].name: row for row in rows}

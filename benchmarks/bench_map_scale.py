@@ -23,6 +23,10 @@ Scale knobs: ``REPRO_BENCH_MAP_POINTS`` (default 1,000,000),
 ``REPRO_BENCH_MAP_SCENARIO`` (default ``city_block``),
 ``REPRO_BENCH_MAP_TILE`` (default 32 m), ``REPRO_BENCH_MAP_QUERIES``
 (default 256).
+With ``REPRO_TRENDS_DIR`` set, the regenerated table is also recorded into
+the trend store (family ``map-scale``, one record per geometry x flavour) —
+the committed baseline under ``benchmarks/trends/`` was produced exactly
+this way (``docs/TRENDS.md``).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ import pytest
 
 from repro.analysis import MapScaleSweep, render_map_scale_sensitivity
 from repro.analysis.map_scale import MAP_SCALE_GEOMETRY_NAMES
+from repro.trends import collect_map_scale, maybe_record
 
 from paper_reference import write_result
 
@@ -53,6 +58,8 @@ def test_map_scale_sensitivity_report(benchmark, sweep):
     """Regenerate the map-scale table and check its structural claims."""
     result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
     write_result("map_scale_sensitivity", render_map_scale_sensitivity(result))
+    maybe_record(lambda ctx: collect_map_scale(
+        result, commit=ctx.commit, run_id=ctx.run_id, order=ctx.order))
 
     assert result.n_points >= N_POINTS
     names = [geometry.name for geometry in result.geometries]

@@ -26,6 +26,9 @@ Scale knobs: ``REPRO_BENCH_HW_FRAMES`` (default 3),
 ``REPRO_BENCH_HW_BEAMS`` / ``REPRO_BENCH_HW_AZIMUTH`` (default 18 x 180),
 ``REPRO_BENCH_HW_JOBS`` (default: auto worker count),
 ``REPRO_BENCH_REQUIRE_SPEEDUP`` (1 = always assert the 2x, 0 = never).
+With ``REPRO_TRENDS_DIR`` set, the regenerated matrix is also recorded into
+the trend store (family ``scenario-hw``) — the committed baseline under
+``benchmarks/trends/`` was produced exactly this way (``docs/TRENDS.md``).
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ import pytest
 
 from repro.analysis import HardwareScenarioSweep, render_hw_matrix
 from repro.engine.parallel import resolve_workers
+from repro.trends import collect_hw_sweep, maybe_record
 
 from paper_reference import write_result
 
@@ -72,6 +76,8 @@ def test_scenario_hw_matrix_report(benchmark, sweep):
     """Regenerate the hardware scenario matrix (cross-scenario cache claims)."""
     result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
     write_result("scenario_hw_matrix", render_hw_matrix(result))
+    maybe_record(lambda ctx: collect_hw_sweep(
+        result, commit=ctx.commit, run_id=ctx.run_id, order=ctx.order))
 
     for scenario in result.scenarios():
         baseline, bonsai = result.pair(scenario)

@@ -11,6 +11,10 @@ aisles to sparse rural fields.
 
 Scale knobs: ``REPRO_BENCH_SCENARIO_FRAMES`` (default 3),
 ``REPRO_BENCH_SCENARIO_BEAMS`` / ``_AZIMUTH`` (default 18 x 180).
+With ``REPRO_TRENDS_DIR`` set, the regenerated matrix is also recorded into
+the trend store (family ``scenario-matrix``, one record per scenario x
+backend) — same numbers as the rendered table, machine-readable, keyed by
+commit (``docs/TRENDS.md``).
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ from repro.analysis import render_table
 from repro.engine import ExecutionConfig
 from repro.scenarios import scenario_names
 from repro.workloads import PipelineRunner, PipelineRunnerConfig
+
+from repro.trends import collect_pipeline_run, maybe_record
 
 from paper_reference import write_result
 
@@ -79,6 +85,12 @@ def test_scenario_matrix_report(benchmark, matrix):
                f"{N_BEAMS}x{N_AZIMUTH} rays (extension beyond the paper)"),
     )
     write_result("scenario_matrix", text)
+    maybe_record(lambda ctx: [
+        collect_pipeline_run(run.metrics(), scenario=name, backend=run.backend,
+                             commit=ctx.commit, run_id=ctx.run_id,
+                             order=ctx.order)
+        for name, pair in results.items() for run in pair
+    ])
 
     for name, (baseline, bonsai) in results.items():
         base_m = baseline.metrics()

@@ -19,6 +19,11 @@ Scale knobs: ``REPRO_BENCH_SERVE_CLIENTS`` (default 4),
 ``REPRO_BENCH_SERVE_POINTS`` (default 15,000),
 ``REPRO_BENCH_SERVE_REQUESTS`` (default 24 per client),
 ``REPRO_BENCH_SERVE_QUERIES`` (default 96 per request).
+With ``REPRO_TRENDS_DIR`` set, the run is also recorded into the trend
+store (family ``serving-load``: one fleet record plus per-traffic-class
+latency percentiles).  Latencies are wall-clock, so the regression policy
+applies its wide tolerance band to them, and CI does not record this family
+into the committed baseline (``docs/TRENDS.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import pytest
 
 from repro.serve import render_serving_load, run_serving_load
 from repro.serve.loadgen import CLIENT_BACKENDS
+from repro.trends import collect_serving_load, maybe_record
 
 from paper_reference import write_result
 
@@ -53,6 +59,8 @@ def test_serving_load_report(benchmark, load_result):
     """Regenerate the serving-load table and check its structural claims."""
     result = benchmark.pedantic(lambda: load_result, rounds=1, iterations=1)
     write_result("serving_load", render_serving_load(result))
+    maybe_record(lambda ctx: collect_serving_load(
+        result, commit=ctx.commit, run_id=ctx.run_id, order=ctx.order))
 
     # The tentpole acceptance: >= 4 concurrent clients served by one
     # resident store, the tree compressed exactly once fleet-wide.

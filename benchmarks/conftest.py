@@ -6,6 +6,12 @@ baseline and the Bonsai search) is done once per session and shared; each
 bench then times a representative kernel with pytest-benchmark and writes the
 regenerated table/figure, next to the paper's reported values, into
 ``benchmarks/results/``.
+
+With ``REPRO_TRENDS_DIR`` set, the matrix benchmarks additionally merge the
+same numbers as :class:`repro.trends.TrendRecord` rows into the named trend
+store, keyed by ``REPRO_TRENDS_COMMIT`` / ``REPRO_TRENDS_RUN_ID`` /
+``REPRO_TRENDS_ORDER`` — the machine-readable counterpart of the rendered
+text tables (workflow and schema: ``docs/TRENDS.md``).
 """
 
 from __future__ import annotations

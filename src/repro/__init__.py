@@ -49,6 +49,11 @@ Subpackages
     Project-native static analysis: determinism, resource-lifecycle and
     multiprocessing-safety rules behind a name registry, surfaced as
     ``repro lint`` and the CI lint gate (``docs/LINT.md``).
+``repro.trends``
+    Golden-metric trend tracking: versioned per-commit benchmark/campaign
+    records in a deterministic JSONL store, threshold regression
+    detection, and the static HTML trend explorer, surfaced as
+    ``repro trends`` (``docs/TRENDS.md``).
 
 Top-level exports
 -----------------
@@ -96,6 +101,10 @@ instead of spelling out the subpackage:
     The differential-testing campaign engine (:mod:`repro.campaign`).
 ``run_lint`` / ``rule_names``
     The static analyzer and its rule registry (:mod:`repro.lint`).
+``TrendRecord`` / ``TrendStore`` / ``find_regressions`` / ``render_dashboard``
+    Golden-metric trend tracking (:mod:`repro.trends`): the versioned
+    record, the deterministic JSONL store, the baseline-vs-head regression
+    detector and the static HTML explorer.
 ``SharedCloudStore`` / ``QueryService`` / ``StreamingPipelineRunner``
     The serving layer (:mod:`repro.serve`): the shared-memory store, the
     pooled query service over it, and the overlapped-stage pipeline runner.
@@ -127,6 +136,10 @@ _EXPORTS = {
     "random_world": "repro.campaign",
     "run_lint": "repro.lint",
     "rule_names": "repro.lint",
+    "TrendRecord": "repro.trends",
+    "TrendStore": "repro.trends",
+    "find_regressions": "repro.trends",
+    "render_dashboard": "repro.trends",
     "PipelineRunner": "repro.workloads",
     "PipelineRunnerConfig": "repro.workloads",
     "SharedCloudStore": "repro.serve",

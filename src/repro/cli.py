@@ -59,6 +59,14 @@ The CLI exposes the most common flows without writing Python:
     multiprocessing-safety rules, with inline suppressions and an optional
     ``--baseline`` of grandfathered findings.  Exits non-zero on any new
     unsuppressed finding.  ``docs/LINT.md`` catalogs the rules.
+``python -m repro trends record|report|dashboard``
+    Golden-metric trend tracking (:mod:`repro.trends`): ``record`` merges
+    on-disk artifacts (golden snapshots, campaign manifests) into a
+    per-family JSONL store; ``report`` runs the baseline-vs-head
+    regression detector and exits non-zero on flagged drift; ``dashboard``
+    renders the byte-deterministic static HTML explorer.  The benchmark
+    scripts record their regenerated matrices into the same store when
+    ``REPRO_TRENDS_DIR`` is set (see ``docs/TRENDS.md``).
 
 Scenario names, backend names, cache-geometry names and lint-rule names in
 ``--help`` output come straight from their registries (:mod:`repro.scenarios`,
@@ -300,6 +308,66 @@ def build_parser() -> argparse.ArgumentParser:
                            "and exit 0")
     lint.add_argument("--output", type=Path, default=None,
                       help="also write the report to this file")
+
+    trends = subparsers.add_parser(
+        "trends",
+        help="golden-metric trend tracking: record runs, detect "
+             "regressions, render the explorer dashboard",
+        description="Trend store workflow (docs/TRENDS.md): benchmarks "
+                    "record themselves when REPRO_TRENDS_DIR is set; "
+                    "`record` ingests on-disk artifacts; `report` compares "
+                    "a head run against a baseline commit; `dashboard` "
+                    "renders the static HTML explorer.")
+    trends_sub = trends.add_subparsers(dest="trends_command", required=True)
+
+    def _store_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dir", type=Path, dest="store_dir",
+                         default=Path("benchmarks/trends"),
+                         help="trend store directory "
+                              "(default: benchmarks/trends)")
+
+    record = trends_sub.add_parser(
+        "record", help="merge on-disk artifacts into the trend store")
+    _store_dir(record)
+    record.add_argument("--commit", required=True,
+                        help="commit id the records belong to "
+                             "(CI passes the git SHA)")
+    record.add_argument("--run-id", default=None,
+                        help="run id within the commit (default: the commit)")
+    record.add_argument("--order", type=int, default=0,
+                        help="monotonic run sequence number the trend "
+                             "x-axis sorts by (CI passes the run number)")
+    record.add_argument("--golden", type=Path, default=None, metavar="DIR",
+                        help="ingest the golden snapshot directory "
+                             "(tests/golden) as golden-* records")
+    record.add_argument("--campaign", action="append", type=Path,
+                        dest="campaigns", default=None, metavar="MANIFEST",
+                        help="ingest a campaign manifest.json (repeatable)")
+
+    report = trends_sub.add_parser(
+        "report", help="regression report: head records vs a baseline commit")
+    _store_dir(report)
+    report.add_argument("--baseline", required=True,
+                        help="baseline commit to compare against")
+    report.add_argument("--head", default=None,
+                        help="head commit (default: the latest recorded run)")
+    report.add_argument("--family", action="append", dest="families",
+                        default=None, metavar="NAME",
+                        help="restrict to this metric family (repeatable; "
+                             "default: every family in the store)")
+
+    dashboard = trends_sub.add_parser(
+        "dashboard", help="render the static HTML trend explorer")
+    _store_dir(dashboard)
+    dashboard.add_argument("--output", type=Path,
+                           default=Path("trends-dashboard.html"),
+                           help="HTML file to write")
+    dashboard.add_argument("--baseline", default=None,
+                           help="baseline commit for regression highlighting "
+                                "(default: the earliest recorded run)")
+    dashboard.add_argument("--head", default=None,
+                           help="head commit for regression highlighting "
+                                "(default: the latest recorded run)")
 
     return parser
 
@@ -710,6 +778,70 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trends(args: argparse.Namespace) -> int:
+    import json
+
+    from .trends import (TrendSchemaError, TrendStore, TrendStoreError,
+                         collect_campaign_manifest, collect_golden_snapshots,
+                         find_regressions, render_dashboard,
+                         render_regressions)
+
+    store = TrendStore(args.store_dir)
+    try:
+        if args.trends_command == "record":
+            run_id = args.run_id if args.run_id is not None else args.commit
+            records = []
+            if args.golden is not None:
+                if not args.golden.is_dir():
+                    raise SystemExit(
+                        f"repro trends record: golden directory "
+                        f"{args.golden} does not exist")
+                records.extend(collect_golden_snapshots(
+                    args.golden, commit=args.commit, run_id=run_id,
+                    order=args.order))
+            for manifest_path in args.campaigns or []:
+                if not manifest_path.is_file():
+                    raise SystemExit(
+                        f"repro trends record: campaign manifest "
+                        f"{manifest_path} does not exist")
+                try:
+                    manifest = json.loads(
+                        manifest_path.read_text(encoding="utf-8"))
+                except json.JSONDecodeError as exc:
+                    raise SystemExit(
+                        f"repro trends record: {manifest_path} is not valid "
+                        f"JSON ({exc})")
+                records.extend(collect_campaign_manifest(
+                    manifest, commit=args.commit, run_id=run_id,
+                    order=args.order))
+            if not records:
+                raise SystemExit(
+                    "repro trends record: nothing to record — pass --golden "
+                    "and/or --campaign (benchmark matrices record themselves "
+                    "when run with REPRO_TRENDS_DIR set)")
+            touched = store.append(records)
+            print(f"recorded {len(records)} record(s) for commit "
+                  f"{args.commit} into {len(touched)} famil"
+                  f"{'y' if len(touched) == 1 else 'ies'}:")
+            for path in touched:
+                print(f"  {path}")
+            return 0
+        if args.trends_command == "report":
+            result = find_regressions(store, args.baseline,
+                                      head_commit=args.head,
+                                      families=args.families)
+            print(render_regressions(result), end="")
+            return 0 if result.ok else 1
+        rendered = render_dashboard(store, baseline_commit=args.baseline,
+                                    head_commit=args.head)
+        args.output.write_text(rendered, encoding="utf-8")
+        print(f"wrote trend dashboard to {args.output} "
+              f"({len(rendered)} bytes)")
+        return 0
+    except (TrendStoreError, TrendSchemaError) as exc:
+        raise SystemExit(f"repro trends {args.trends_command}: {exc}")
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compress-stats": _cmd_compress_stats,
@@ -722,6 +854,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "campaign": _cmd_campaign,
     "lint": _cmd_lint,
+    "trends": _cmd_trends,
 }
 
 

@@ -79,6 +79,10 @@ ENV_READ_ALLOWED: Dict[str, str] = {
     "repro/engine/parallel.py":
         "REPRO_MP_WORKERS tunes the worker count only; results are "
         "worker-count-invariant by the engine determinism contract",
+    "repro/trends/collect.py":
+        "REPRO_TRENDS_DIR/-COMMIT/-RUN_ID/-ORDER select where benchmark "
+        "trend records persist and how the run is labelled; they never "
+        "affect any computed result",
 }
 
 

@@ -1,0 +1,230 @@
+"""Static, stdlib-only HTML explorer over a trend store.
+
+:func:`render_dashboard` is a pure function from the store's record set
+(plus an optional baseline/head choice) to one self-contained HTML page:
+no JavaScript, no external assets, inline CSS and inline SVG sparklines.
+Every iteration is over sorted data and every number is formatted through
+one deterministic path, so two renders of the same store are
+**byte-identical** — the dashboard is itself a reproducibility artifact
+and the lockdown tests diff the raw bytes.
+
+Layout: one section per metric family; per cell (scenario x backend x
+geometry, ...) a table of metric rows across the recorded runs with an SVG
+trend line per metric; rows flagged by the regression detector
+(:mod:`repro.trends.regress`) between the chosen baseline and head run are
+highlighted.  The ``campaign`` family additionally gets a seed x run
+divergence-count table up front, the closest thing the repository has to
+AnICA's campaign explorer.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .regress import RegressionPolicy, find_regressions
+from .schema import MetricValue, TrendRecord
+from .store import TrendStore, TrendStoreError
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; }
+h1 { border-bottom: 3px solid #16213e; padding-bottom: .3em; }
+h2 { margin-top: 2em; color: #16213e; }
+h3 { margin-bottom: .4em; color: #0f3460; }
+table { border-collapse: collapse; margin: .5em 0 1.5em; }
+th, td { border: 1px solid #cdd3e0; padding: .25em .6em; text-align: right;
+         font-variant-numeric: tabular-nums; }
+th { background: #eef1f7; }
+td.metric, th.metric { text-align: left; font-family: monospace; }
+tr.regress td { background: #ffe3e3; }
+tr.regress td.metric { color: #b00020; font-weight: bold; }
+td.spark { padding: .1em .3em; }
+p.meta { color: #555; }
+svg polyline { fill: none; stroke: #0f3460; stroke-width: 1.5; }
+tr.regress svg polyline { stroke: #b00020; }
+""".strip()
+
+#: Sparkline viewport (pixels) and padding inside it.
+_SPARK_W, _SPARK_H, _SPARK_PAD = 120, 28, 3
+
+
+def _format_value(value: MetricValue) -> str:
+    """One deterministic rendering per metric value (ints keep commas)."""
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:.6g}"
+
+
+def _sparkline(values: List[Optional[MetricValue]]) -> str:
+    """An inline SVG polyline through the runs' values (gaps skipped)."""
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if len(points) < 2:
+        return ""
+    lo = min(v for _, v in points)
+    hi = max(v for _, v in points)
+    span_x = max(len(values) - 1, 1)
+    inner_w = _SPARK_W - 2 * _SPARK_PAD
+    inner_h = _SPARK_H - 2 * _SPARK_PAD
+    coords = []
+    for i, v in points:
+        x = _SPARK_PAD + inner_w * i / span_x
+        if hi == lo:
+            y = _SPARK_H / 2
+        else:
+            y = _SPARK_PAD + inner_h * (1 - (v - lo) / (hi - lo))
+        coords.append(f"{x:.2f},{y:.2f}")
+    return (f'<svg width="{_SPARK_W}" height="{_SPARK_H}" '
+            f'viewBox="0 0 {_SPARK_W} {_SPARK_H}">'
+            f'<polyline points="{" ".join(coords)}"/></svg>')
+
+
+def _run_label(run: Tuple[int, str, str]) -> str:
+    order, commit, run_id = run
+    label = f"#{order} {commit[:12]}"
+    if run_id != commit:
+        label += f" ({run_id[:12]})"
+    return label
+
+
+def _cell_title(key: Mapping[str, str]) -> str:
+    return " / ".join(f"{name}={value}" for name, value in sorted(key.items()))
+
+
+def _series(records_by_run: Mapping[Tuple[int, str, str], TrendRecord],
+            runs: List[Tuple[int, str, str]],
+            metric: str) -> List[Optional[MetricValue]]:
+    series: List[Optional[MetricValue]] = []
+    for run in runs:
+        record = records_by_run.get(run)
+        series.append(None if record is None
+                      else record.metrics.get(metric))
+    return series
+
+
+def render_dashboard(store: TrendStore,
+                     baseline_commit: Optional[str] = None,
+                     head_commit: Optional[str] = None,
+                     policy: Optional[RegressionPolicy] = None,
+                     title: str = "repro trend explorer") -> str:
+    """The whole store as one deterministic, self-contained HTML page.
+
+    With at least two recorded runs the regression detector runs between
+    ``baseline_commit`` (default: the earliest run's commit) and
+    ``head_commit`` (default: the latest run's commit) and the flagged
+    (cell, metric) rows are highlighted.
+    """
+    families = store.families()
+    if not families:
+        raise TrendStoreError(
+            f"trends store {store.root} holds no records — record some runs "
+            f"first (see `repro trends record`)")
+    all_runs = store.runs()
+    if baseline_commit is None and len(all_runs) >= 2:
+        baseline_commit = all_runs[0][1]
+    if head_commit is None and all_runs:
+        head_commit = all_runs[-1][1]
+    flagged: Dict[Tuple[str, tuple, str], None] = {}
+    missing_cells: Dict[Tuple[str, tuple], None] = {}
+    if baseline_commit is not None and head_commit is not None \
+            and baseline_commit != head_commit:
+        report = find_regressions(store, baseline_commit, head_commit,
+                                  families=families, policy=policy)
+        for regression in report.regressions:
+            cell = (regression.family, tuple(sorted(regression.key.items())))
+            if regression.kind == "missing-cell":
+                missing_cells.setdefault(cell, None)
+            else:
+                flagged.setdefault(cell + (regression.metric,), None)
+
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="meta">{len(all_runs)} recorded run(s), '
+        f'{len(families)} metric famil{"y" if len(families) == 1 else "ies"}.'
+        + (f" Regression pass: baseline <code>"
+           f"{html.escape(baseline_commit)}</code> vs head <code>"
+           f"{html.escape(head_commit)}</code>, {len(flagged)} flagged "
+           f"metric(s), {len(missing_cells)} missing cell(s)."
+           if baseline_commit is not None and head_commit is not None
+           and baseline_commit != head_commit else
+           " Regression pass: skipped (fewer than two distinct runs).")
+        + "</p>",
+    ]
+
+    for family in families:
+        records = store.load(family)
+        runs = store.runs(family)
+        by_cell: Dict[tuple, Dict[Tuple[int, str, str], TrendRecord]] = {}
+        for record in records:
+            cell_key = tuple(sorted(record.key.items()))
+            run = (record.order, record.commit, record.run_id)
+            # Deterministic winner per (cell, run): to_json() max — append()
+            # dedupes exact copies, so collisions mean hand-edited stores.
+            slot = by_cell.setdefault(cell_key, {})
+            held = slot.get(run)
+            if held is None or record.to_json() > held.to_json():
+                slot[run] = record
+        out.append(f'<h2 id="{html.escape(family)}">{html.escape(family)}'
+                   f"</h2>")
+        if family == "campaign":
+            out.extend(_campaign_divergence_table(by_cell, runs))
+        for cell_key in sorted(by_cell):
+            cell_dict = dict(cell_key)
+            suffix = (" &mdash; missing from head run"
+                      if (family, cell_key) in missing_cells else "")
+            out.append(f"<h3>{html.escape(_cell_title(cell_dict))}{suffix}"
+                       f"</h3>")
+            records_by_run = by_cell[cell_key]
+            metric_names: Dict[str, None] = {}
+            for run in runs:
+                record = records_by_run.get(run)
+                if record is not None:
+                    for name in record.metrics:
+                        metric_names.setdefault(name, None)
+            header = "".join(f"<th>{html.escape(_run_label(run))}</th>"
+                             for run in runs)
+            out.append(f'<table><tr><th class="metric">metric</th>{header}'
+                       f"<th>trend</th></tr>")
+            for metric in sorted(metric_names):
+                series = _series(records_by_run, runs, metric)
+                row_class = (' class="regress"'
+                             if (family, cell_key, metric) in flagged else "")
+                cells = "".join(
+                    f"<td>{'' if v is None else _format_value(v)}</td>"
+                    for v in series)
+                out.append(
+                    f'<tr{row_class}><td class="metric">{html.escape(metric)}'
+                    f'</td>{cells}<td class="spark">{_sparkline(series)}'
+                    f"</td></tr>")
+            out.append("</table>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def _campaign_divergence_table(
+        by_cell: Mapping[tuple, Mapping[Tuple[int, str, str], TrendRecord]],
+        runs: List[Tuple[int, str, str]]) -> List[str]:
+    """Seed x run divergence counts, the campaign section's lead table."""
+    out = ["<h3>Campaign divergences by seed</h3>"]
+    header = "".join(f"<th>{html.escape(_run_label(run))}</th>"
+                     for run in runs)
+    out.append(f'<table><tr><th class="metric">seed</th>{header}</tr>')
+    for cell_key in sorted(by_cell):
+        seed = dict(cell_key).get("seed", "?")
+        cells = []
+        for run in runs:
+            record = by_cell[cell_key].get(run)
+            value = None if record is None \
+                else record.metrics.get("n_divergences")
+            cells.append("<td></td>" if value is None else
+                         f"<td>{_format_value(value)}</td>")
+        out.append(f'<tr><td class="metric">{html.escape(str(seed))}</td>'
+                   f'{"".join(cells)}</tr>')
+    out.append("</table>")
+    return out

@@ -1,0 +1,236 @@
+"""Threshold-based regression detection over trend histories.
+
+Comparison is cell-by-cell, metric-by-metric between two recorded runs of
+the same store: a **baseline** commit (typically the committed
+``benchmarks/trends/`` snapshot, recorded as commit ``baseline``) and a
+**head** commit (the run CI just recorded).  The policy mirrors how the
+quantities behave:
+
+* structural counters (byte counts, access counts, sizes) are exact ints
+  end to end — any difference at all is a regression;
+* modelled continuous quantities (``cycles``, ``energy``, miss ratios) get
+  a small relative tolerance;
+* wall-clock quantities (``latency.*``, ``wall_seconds``, throughput) are
+  inherently noisy and get a wide one.
+
+The detector is a pure function of the record *set*: records are grouped
+by cell and deduplicated deterministically, and the report is sorted, so
+shuffling the store lines can never change the outcome (the property
+tests lock this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .schema import MetricValue, TrendRecord
+from .store import TrendStore, TrendStoreError
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "DEFAULT_RELATIVE_METRICS",
+    "Regression",
+    "RegressionPolicy",
+    "RegressionReport",
+    "find_regressions",
+    "render_regressions",
+]
+
+#: Relative tolerance applied to non-integer metrics with no override.
+DEFAULT_REL_TOL = 0.05
+
+#: Substring-matched tolerance overrides, first match wins.  Metrics that
+#: match one of these are compared relatively even when both values are
+#: ints (a cycle count is a model output, not a structural invariant);
+#: wall-clock families get a deliberately wide band.
+DEFAULT_RELATIVE_METRICS: Tuple[Tuple[str, float], ...] = (
+    ("latency", 0.50),
+    ("wall_seconds", 0.50),
+    ("throughput", 0.50),
+    ("cycles", 0.05),
+    ("energy", 0.05),
+    ("miss_ratio", 0.05),
+)
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """How far a metric may drift before it is flagged."""
+
+    #: Fallback relative tolerance for float-valued metrics.
+    default_rel_tol: float = DEFAULT_REL_TOL
+    #: ``(substring, tolerance)`` overrides, first match wins.
+    overrides: Tuple[Tuple[str, float], ...] = DEFAULT_RELATIVE_METRICS
+
+    def tolerance_for(self, metric: str,
+                      baseline: MetricValue, head: MetricValue) -> float:
+        """The relative tolerance for one metric; 0.0 means exact."""
+        for substring, tolerance in self.overrides:
+            if substring in metric:
+                return tolerance
+        if isinstance(baseline, int) and isinstance(head, int):
+            return 0.0
+        return self.default_rel_tol
+
+    def exceeded(self, metric: str,
+                 baseline: MetricValue, head: MetricValue) -> Optional[float]:
+        """The violated tolerance if the pair drifts too far, else ``None``.
+
+        Drift in *either* direction counts: an unexplained improvement is
+        as much a model change as an unexplained loss.
+        """
+        tolerance = self.tolerance_for(metric, baseline, head)
+        if tolerance == 0.0:
+            return None if baseline == head else 0.0
+        if baseline == head:
+            return None
+        if baseline == 0:
+            return tolerance  # any move off an exact zero is beyond any band
+        rel = abs(head - baseline) / abs(baseline)
+        return tolerance if rel > tolerance else None
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged (family, cell, metric) triple."""
+
+    family: str
+    key: Mapping[str, str]
+    metric: str
+    baseline: Optional[MetricValue]
+    head: Optional[MetricValue]
+    tolerance: float
+    #: ``drift`` (both present, beyond tolerance), ``missing-metric`` (in
+    #: baseline, gone from head) or ``missing-cell`` (whole cell gone).
+    kind: str = "drift"
+
+    def sort_key(self):
+        return (self.family, tuple(sorted(self.key.items())), self.metric,
+                self.kind)
+
+    def describe(self) -> str:
+        cell = " ".join(f"{k}={v}" for k, v in sorted(self.key.items()))
+        if self.kind == "missing-cell":
+            return f"[{self.family}] {cell} :: cell missing from head run"
+        if self.kind == "missing-metric":
+            return (f"[{self.family}] {cell} :: {self.metric}: "
+                    f"{self.baseline!r} -> missing from head run")
+        if self.baseline:
+            rel = (self.head - self.baseline) / abs(self.baseline)
+            change = f"{rel:+.2%}"
+        else:
+            change = "from zero"
+        band = "exact" if self.tolerance == 0.0 else f"tol {self.tolerance:.0%}"
+        return (f"[{self.family}] {cell} :: {self.metric}: "
+                f"{self.baseline!r} -> {self.head!r} ({change}, {band})")
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """The deterministic outcome of one baseline-vs-head comparison."""
+
+    baseline_commit: str
+    head_commit: str
+    families: Tuple[str, ...]
+    n_cells: int
+    n_metrics: int
+    regressions: Tuple[Regression, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _cells_of_commit(records: Sequence[TrendRecord], commit: str,
+                     ) -> Dict[tuple, TrendRecord]:
+    """The latest record per cell for one commit.
+
+    Several runs may share a commit (re-recorded locally); the one with the
+    greatest ``(order, run_id)`` wins, deterministically.
+    """
+    chosen: Dict[tuple, TrendRecord] = {}
+    for record in records:
+        if record.commit != commit:
+            continue
+        cell = record.cell()
+        held = chosen.get(cell)
+        if held is None or (record.order, record.run_id) > (held.order,
+                                                            held.run_id):
+            chosen[cell] = record
+    return chosen
+
+
+def find_regressions(store: TrendStore, baseline_commit: str,
+                     head_commit: Optional[str] = None,
+                     families: Optional[Sequence[str]] = None,
+                     policy: Optional[RegressionPolicy] = None,
+                     ) -> RegressionReport:
+    """Compare two commits' records across families; sorted, order-blind."""
+    policy = policy if policy is not None else RegressionPolicy()
+    names = tuple(families) if families is not None else tuple(store.families())
+    if head_commit is None:
+        head_commit = store.latest_commit()
+        if head_commit is None:
+            raise TrendStoreError(
+                f"trends store {store.root} holds no records — nothing to "
+                f"compare (record a run first)")
+    flagged: List[Regression] = []
+    n_cells = 0
+    n_metrics = 0
+    seen_baseline = False
+    for family in names:
+        records = store.load(family)
+        base_cells = _cells_of_commit(records, baseline_commit)
+        head_cells = _cells_of_commit(records, head_commit)
+        seen_baseline = seen_baseline or bool(base_cells)
+        for cell in sorted(base_cells):
+            base = base_cells[cell]
+            head = head_cells.get(cell)
+            if head is None:
+                flagged.append(Regression(
+                    family=family, key=base.key, metric="*", kind="missing-cell",
+                    baseline=None, head=None, tolerance=0.0))
+                continue
+            n_cells += 1
+            for metric in sorted(base.metrics):
+                base_value = base.metrics[metric]
+                if metric not in head.metrics:
+                    flagged.append(Regression(
+                        family=family, key=base.key, metric=metric,
+                        kind="missing-metric", baseline=base_value, head=None,
+                        tolerance=0.0))
+                    continue
+                n_metrics += 1
+                head_value = head.metrics[metric]
+                violated = policy.exceeded(metric, base_value, head_value)
+                if violated is not None:
+                    flagged.append(Regression(
+                        family=family, key=base.key, metric=metric,
+                        baseline=base_value, head=head_value,
+                        tolerance=violated))
+    if not seen_baseline:
+        raise TrendStoreError(
+            f"baseline commit {baseline_commit!r} has no records in "
+            f"{store.root} (families: {', '.join(names) or 'none'}) — "
+            f"record the baseline or pass the right --baseline")
+    return RegressionReport(
+        baseline_commit=baseline_commit, head_commit=head_commit,
+        families=names, n_cells=n_cells, n_metrics=n_metrics,
+        regressions=tuple(sorted(flagged, key=Regression.sort_key)))
+
+
+def render_regressions(report: RegressionReport) -> str:
+    """The report as deterministic text, one flagged triple per line."""
+    lines = [
+        "trend regression report",
+        f"baseline: {report.baseline_commit}   head: {report.head_commit}",
+        f"families: {', '.join(report.families)}",
+        f"compared {report.n_cells} cells / {report.n_metrics} metrics",
+    ]
+    if report.ok:
+        lines.append("OK - no regressions beyond tolerance")
+    else:
+        lines.append(f"FLAGGED {len(report.regressions)} regression(s):")
+        lines.extend(f"  {r.describe()}" for r in report.regressions)
+    return "\n".join(lines) + "\n"

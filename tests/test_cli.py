@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -330,3 +332,98 @@ class TestErrorPaths:
         args = build_parser().parse_args(
             ["hw-sweep", "--scenario", "urban", "--scenario", "tunnel"])
         assert args.scenarios == ["urban", "tunnel"]
+
+
+class TestTrendsCommand:
+    """`repro trends`: happy paths plus actionable (traceback-free) errors."""
+
+    def _seed_store(self, tmp_path):
+        from repro.trends import TrendRecord, TrendStore
+
+        store = TrendStore(tmp_path / "trends")
+        store.append([
+            TrendRecord(family="scenario-hw", commit=commit, run_id=commit,
+                        order=order, key={"scenario": "urban",
+                                          "backend": "bonsai-batched"},
+                        metrics={"cycles": 100.0 * (1 + order), "bytes": 7})
+            for order, commit in enumerate(["base", "head"])
+        ])
+        return store
+
+    def test_record_report_dashboard_round_trip(self, tmp_path, capsys):
+        store_dir = tmp_path / "trends"
+        golden_dir = str(Path(__file__).resolve().parent / "golden")
+        assert main(["trends", "record", "--dir", str(store_dir),
+                     "--commit", "abc", "--golden", golden_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "golden-pipeline.jsonl" in out
+
+        assert main(["trends", "report", "--dir", str(store_dir),
+                     "--baseline", "abc"]) == 0
+        assert "OK - no regressions" in capsys.readouterr().out
+
+        html = tmp_path / "dash.html"
+        assert main(["trends", "dashboard", "--dir", str(store_dir),
+                     "--output", str(html)]) == 0
+        assert html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_report_exit_code_flags_regressions(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        code = main(["trends", "report", "--dir", str(store.root),
+                     "--baseline", "base"])
+        assert code == 1
+        assert "FLAGGED" in capsys.readouterr().out
+
+    def test_missing_store_dir_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "report", "--dir", str(tmp_path / "nowhere"),
+                  "--baseline", "base"])
+        message = str(excinfo.value.code)
+        assert "repro trends report:" in message
+        assert "REPRO_TRENDS_DIR" in message
+
+    def test_unknown_family_lists_available(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "report", "--dir", str(store.root),
+                  "--baseline", "base", "--family", "no-such-family"])
+        message = str(excinfo.value.code)
+        assert "unknown metric family 'no-such-family'" in message
+        assert "scenario-hw" in message
+
+    def test_malformed_store_line_is_actionable(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        path = store.family_path("scenario-hw")
+        path.write_text(path.read_text(encoding="utf-8") + "{oops\n",
+                        encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "report", "--dir", str(store.root),
+                  "--baseline", "base"])
+        message = str(excinfo.value.code)
+        assert "malformed trend record" in message
+        assert "scenario-hw.jsonl:3" in message
+
+    def test_unknown_baseline_commit_is_actionable(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "report", "--dir", str(store.root),
+                  "--baseline", "never-recorded"])
+        assert "no records" in str(excinfo.value.code)
+
+    def test_record_without_sources_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "record", "--dir", str(tmp_path / "trends"),
+                  "--commit", "abc"])
+        assert "nothing to record" in str(excinfo.value.code)
+
+    def test_record_rejects_bad_campaign_manifest(self, tmp_path):
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "record", "--dir", str(tmp_path / "trends"),
+                  "--commit", "abc", "--campaign", str(bad)])
+        assert "not valid JSON" in str(excinfo.value.code)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trends", "record", "--dir", str(tmp_path / "trends"),
+                  "--commit", "abc", "--campaign", str(tmp_path / "nope.json")])
+        assert "does not exist" in str(excinfo.value.code)

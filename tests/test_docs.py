@@ -17,6 +17,7 @@ REPO = Path(__file__).resolve().parent.parent
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
 PERFORMANCE = REPO / "docs" / "PERFORMANCE.md"
 LINT = REPO / "docs" / "LINT.md"
+TRENDS = REPO / "docs" / "TRENDS.md"
 README = REPO / "README.md"
 SRC = REPO / "src" / "repro"
 
@@ -95,6 +96,39 @@ def test_lint_doc_catalogs_every_registered_rule():
         assert f"`{name}`" in text, f"{name} missing from docs/LINT.md"
 
 
+def test_trends_doc_exists():
+    assert TRENDS.exists(), "docs/TRENDS.md is a deliverable"
+
+
+def test_readme_and_architecture_link_trends_doc():
+    assert "docs/TRENDS.md" in README.read_text(encoding="utf-8")
+    assert "TRENDS.md" in ARCHITECTURE.read_text(encoding="utf-8")
+
+
+def test_trends_doc_catalogs_every_family():
+    """The family catalog must name every known trend family — a new
+    collector without a catalog entry is doc drift."""
+    from repro.trends import KNOWN_FAMILIES
+
+    text = TRENDS.read_text(encoding="utf-8")
+    for name in KNOWN_FAMILIES:
+        assert f"`{name}`" in text, f"{name} missing from docs/TRENDS.md"
+
+
+def test_trends_doc_states_every_threshold():
+    """The tolerance table must carry every policy override, with its
+    actual percentage — a tuned threshold without a doc update is drift."""
+    from repro.trends import DEFAULT_REL_TOL, DEFAULT_RELATIVE_METRICS
+
+    text = TRENDS.read_text(encoding="utf-8")
+    for substring, tolerance in DEFAULT_RELATIVE_METRICS:
+        assert f"`{substring}`" in text, \
+            f"override {substring} missing from docs/TRENDS.md"
+        assert f"{tolerance:.0%}" in text, \
+            f"tolerance {tolerance:.0%} for {substring} not stated"
+    assert f"{DEFAULT_REL_TOL:.0%}" in text
+
+
 def test_readme_backend_matrix_lists_every_backend():
     """The README backend table must list every registered backend name."""
     from repro.engine import backend_names
@@ -130,8 +164,10 @@ def test_every_package_described_in_layers():
 
 
 @pytest.mark.parametrize("doc", ["docs/ARCHITECTURE.md", "docs/PERFORMANCE.md",
-                                 "docs/LINT.md", "README.md"],
-                         ids=["architecture", "performance", "lint", "readme"])
+                                 "docs/LINT.md", "docs/TRENDS.md",
+                                 "README.md"],
+                         ids=["architecture", "performance", "lint", "trends",
+                              "readme"])
 def test_relative_links_resolve(doc):
     path = REPO / doc
     for target in LINK_RE.findall(path.read_text(encoding="utf-8")):

@@ -1,0 +1,106 @@
+"""Text tables and trend records stay in sync.
+
+The benchmark scripts render human-readable ``benchmarks/results/*.txt``
+tables and — with ``REPRO_TRENDS_DIR`` set — merge the *same* result object
+into the trend store through :mod:`repro.trends.collect`.  This suite runs
+one small hardware matrix, renders the table exactly as the bench does, and
+parses the rendered rows back against the collected records: every demand-
+and DRAM-byte figure in the text must equal the corresponding record
+metric.  A collector that drifted from the renderer (or vice versa) fails
+here, not in a post-merge CI surprise.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.analysis import HardwareScenarioSweep, render_hw_matrix
+from repro.trends import TrendStore, collect_hw_sweep, maybe_record
+
+#: Same sensor preset the parallel-sweep equality tests use: fast, still
+#: exercises clustering + localization on both backends.
+TINY = dict(n_frames=2, seed=7, n_beams=10, n_azimuth_steps=90)
+SCENARIOS = ["urban", "tunnel"]
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return HardwareScenarioSweep(SCENARIOS, **TINY).run()
+
+
+def _parse_matrix_rows(text: str):
+    """The rendered hw-matrix rows as (scenario, stage, ints-by-column).
+
+    Mirrors :func:`repro.analysis.reporting.render_hw_matrix`'s layout:
+    ``Scenario | Stage | ... | Demand B | Demand B (B) | Change |
+    DRAM->L2 B | DRAM->L2 B (B) | ...`` with thousands separators.
+    """
+    lines = text.splitlines()
+    header = next(line for line in lines if line.startswith("Scenario"))
+    columns = [name.strip() for name in header.split("|")]
+    rows = []
+    for line in lines[lines.index(header) + 2:]:
+        if "|" not in line:
+            break
+        values = [value.strip() for value in line.split("|")]
+        row = dict(zip(columns, values))
+        rows.append(row)
+    assert rows, "no data rows parsed from the rendered matrix"
+    return rows
+
+
+def _as_int(cell: str) -> int:
+    assert re.fullmatch(r"[0-9,]+", cell), cell
+    return int(cell.replace(",", ""))
+
+
+def test_rendered_matrix_rows_match_collected_records(sweep_result):
+    text = render_hw_matrix(sweep_result)
+    records = collect_hw_sweep(sweep_result, commit="sync", run_id="sync")
+    by_cell = {(r.key["scenario"], r.key["backend"]): r for r in records}
+    assert len(by_cell) == len(SCENARIOS) * 2
+
+    rows = _parse_matrix_rows(text)
+    assert len(rows) == len(SCENARIOS) * 2  # two stages per scenario
+    for row in rows:
+        scenario, stage = row["Scenario"], row["Stage"]
+        baseline = by_cell[(scenario, "baseline-batched")]
+        bonsai = by_cell[(scenario, "bonsai-batched")]
+        assert _as_int(row["Demand B"]) == \
+            baseline.metrics[f"hardware.{stage}.bytes_loaded"]
+        assert _as_int(row["Demand B (B)"]) == \
+            bonsai.metrics[f"hardware.{stage}.bytes_loaded"]
+        assert _as_int(row["DRAM->L2 B"]) == \
+            baseline.metrics[f"hardware.{stage}.dram_to_l2_bytes"]
+        assert _as_int(row["DRAM->L2 B (B)"]) == \
+            bonsai.metrics[f"hardware.{stage}.dram_to_l2_bytes"]
+
+
+def test_bench_wiring_writes_text_and_records_from_one_result(sweep_result,
+                                                              tmp_path):
+    """The bench-script sequence — render to a file, maybe_record the same
+    object — yields a store whose records carry exactly the rendered bytes'
+    numbers, keyed by the environment-provided identity."""
+    report = tmp_path / "scenario_hw_matrix.txt"
+    report.write_text(render_hw_matrix(sweep_result) + "\n", encoding="utf-8")
+    touched = maybe_record(
+        lambda ctx: collect_hw_sweep(sweep_result, commit=ctx.commit,
+                                     run_id=ctx.run_id, order=ctx.order),
+        environ={"REPRO_TRENDS_DIR": str(tmp_path / "trends"),
+                 "REPRO_TRENDS_COMMIT": "abc1234",
+                 "REPRO_TRENDS_ORDER": "3"})
+    assert touched == [tmp_path / "trends" / "scenario-hw.jsonl"]
+
+    records = TrendStore(tmp_path / "trends").load("scenario-hw")
+    assert {(r.commit, r.order) for r in records} == {("abc1234", 3)}
+    rows = _parse_matrix_rows(report.read_text(encoding="utf-8"))
+    demands = {(row["Scenario"], row["Stage"], _as_int(row["Demand B"]))
+               for row in rows}
+    recorded = {
+        (r.key["scenario"], stage,
+         r.metrics[f"hardware.{stage}.bytes_loaded"])
+        for r in records if r.key["backend"] == "baseline-batched"
+        for stage in ("clustering", "localization")}
+    assert demands == recorded

@@ -1,0 +1,145 @@
+"""Property tests for the trend regression detector (hypothesis).
+
+Three laws, each over generated histories:
+
+* **soundness** — comparing a run against an identical copy of itself never
+  flags anything, for any record set;
+* **sensitivity** — injecting one beyond-tolerance delta into any single
+  (cell, metric) always flags exactly that (family, key, metric) triple;
+* **order invariance** — shuffling the store's lines on disk can never
+  change the report (the detector sees the record *set*, not the file
+  order).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trends import (RegressionPolicy, TrendRecord, TrendStore,
+                          find_regressions)
+
+#: Metric names spanning every policy band: exact ints (bytes/counters),
+#: small-tolerance modelled values (cycles/energy/ratios) and wide-band
+#: wall-clock quantities (latency/throughput).
+METRIC_NAMES = st.sampled_from([
+    "bytes_loaded", "l1_misses", "n_points",
+    "cycles", "energy_j", "l1_miss_ratio",
+    "latency.p50_s", "throughput_rps", "wall_seconds",
+])
+
+VALUES = st.one_of(
+    st.integers(min_value=1, max_value=10**9),
+    st.floats(min_value=1e-3, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+)
+
+#: A history: per-cell metric dicts; cell i gets the key ``{"cell": "c<i>"}``.
+HISTORIES = st.lists(
+    st.dictionaries(METRIC_NAMES, VALUES, min_size=1, max_size=4),
+    min_size=1, max_size=6)
+
+
+def _records(history, commit: str, order: int):
+    return [
+        TrendRecord(family="scenario-hw", commit=commit, run_id=commit,
+                    order=order, key={"cell": f"c{index}"}, metrics=metrics)
+        for index, metrics in enumerate(history)
+    ]
+
+
+def _store(tmp_path, *record_lists) -> TrendStore:
+    store = TrendStore(tmp_path / "trends")
+    for records in record_lists:
+        store.append(records)
+    return store
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=HISTORIES)
+def test_identical_histories_never_flag(tmp_path_factory, history):
+    tmp_path = tmp_path_factory.mktemp("same")
+    store = _store(tmp_path, _records(history, "base", 0),
+                   _records(history, "head", 1))
+    report = find_regressions(store, "base", "head")
+    assert report.ok
+    assert report.n_cells == len(history)
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=HISTORIES, data=st.data())
+def test_single_injected_delta_is_always_flagged(tmp_path_factory, history,
+                                                 data):
+    tmp_path = tmp_path_factory.mktemp("delta")
+    index = data.draw(st.integers(min_value=0, max_value=len(history) - 1),
+                      label="cell")
+    metric = data.draw(st.sampled_from(sorted(history[index])), label="metric")
+
+    policy = RegressionPolicy()
+    head_history = [dict(metrics) for metrics in history]
+    value = head_history[index][metric]
+    tolerance = policy.tolerance_for(metric, value, value)
+    # push the value beyond its own band: +1 breaks an exact metric, a
+    # 2x-tolerance relative bump breaks a toleranced one
+    head_history[index][metric] = (value + 1 if tolerance == 0.0
+                                   else value * (1.0 + 2.0 * tolerance))
+
+    store = _store(tmp_path, _records(history, "base", 0),
+                   _records(head_history, "head", 1))
+    report = find_regressions(store, "base", "head", policy=policy)
+    assert len(report.regressions) == 1
+    flagged = report.regressions[0]
+    assert (flagged.family, flagged.key, flagged.metric) == \
+        ("scenario-hw", {"cell": f"c{index}"}, metric)
+    assert flagged.kind == "drift"
+
+
+@settings(max_examples=40, deadline=None)
+@given(history=HISTORIES, data=st.data())
+def test_report_is_invariant_under_record_shuffling(tmp_path_factory, history,
+                                                    data):
+    tmp_path = tmp_path_factory.mktemp("shuffle")
+    head_history = [dict(metrics) for metrics in history]
+    # arbitrary (possibly in-band) perturbations of the head copy
+    for metrics in head_history:
+        for name in sorted(metrics):
+            if data.draw(st.booleans(), label=f"perturb {name}"):
+                metrics[name] = data.draw(VALUES, label=f"new {name}")
+
+    store = _store(tmp_path, _records(history, "base", 0),
+                   _records(head_history, "head", 1))
+    reference = find_regressions(store, "base", "head")
+
+    path = store.family_path("scenario-hw")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    shuffled = data.draw(st.permutations(lines), label="line order")
+    path.write_text("\n".join(shuffled) + "\n", encoding="utf-8")
+    assert find_regressions(store, "base", "head") == reference
+
+
+def test_missing_metric_and_missing_cell_are_reported(tmp_path):
+    store = _store(
+        tmp_path,
+        _records([{"cycles": 10.0, "bytes_loaded": 5}, {"cycles": 3.0}],
+                 "base", 0),
+        _records([{"cycles": 10.0}], "head", 1))
+    report = find_regressions(store, "base", "head")
+    kinds = [(r.kind, r.metric) for r in report.regressions]
+    assert kinds == [("missing-metric", "bytes_loaded"), ("missing-cell", "*")]
+
+
+def test_same_commit_rerecords_resolve_to_the_latest_run(tmp_path):
+    """Two runs under one commit: the greater (order, run_id) wins."""
+    early = TrendRecord(family="scenario-hw", commit="head", run_id="r1",
+                        order=1, key={"cell": "c0"}, metrics={"cycles": 99.0})
+    late = TrendRecord(family="scenario-hw", commit="head", run_id="r2",
+                       order=2, key={"cell": "c0"}, metrics={"cycles": 10.0})
+    store = _store(tmp_path, _records([{"cycles": 10.0}], "base", 0),
+                   [early, late])
+    assert find_regressions(store, "base", "head").ok
+
+
+def test_added_head_metrics_are_not_regressions(tmp_path):
+    store = _store(tmp_path, _records([{"cycles": 10.0}], "base", 0),
+                   _records([{"cycles": 10.0, "extra": 1}], "head", 1))
+    assert find_regressions(store, "base", "head").ok
